@@ -1,0 +1,101 @@
+// E15 — ablation of the improved protocol's safeguards: disable one
+// ingredient at a time and show, by exhaustive exploration, exactly which
+// verified property breaks and with what counterexample. This demonstrates
+// that the paper's protocol elements are all load-bearing:
+//
+//   ingredient removed            expected broken property
+//   --------------------------    -----------------------------------
+//   N1 echo in AuthKeyDist        usr-key-in-use / ka-secrecy (a replayed
+//                                 key distribution resurrects an Oops'd key)
+//   N_{2i+1} chain in AdminMsg    rcv-prefix-snd (replayed admin messages
+//                                 are re-accepted: the §2.3 attack returns)
+//
+// Exits nonzero if the faithful protocol breaks or an ablation FAILS to
+// break (either would falsify the analysis).
+// Run: build/bench/bench_ablation
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "model/explorer.h"
+
+namespace {
+
+using namespace enclaves::model;
+
+struct Ablation {
+  const char* name;
+  ModelConfig cfg;
+  const char* expect_broken;  // property expected to fail ("" = none)
+};
+
+}  // namespace
+
+int main() {
+  std::printf("E15: protocol-ingredient ablations\n");
+  std::printf("==================================\n\n");
+
+  ModelConfig faithful;
+  faithful.max_joins = 2;
+  faithful.max_admins = 2;
+
+  ModelConfig no_echo = faithful;
+  no_echo.check_keydist_echo = false;
+
+  ModelConfig no_chain = faithful;
+  no_chain.check_admin_chain = false;
+
+  const Ablation ablations[] = {
+      {"faithful protocol", faithful, ""},
+      {"no N1 echo in AuthKeyDist", no_echo, "usr-key-in-use"},
+      {"no nonce chain in AdminMsg", no_chain, "rcv-prefix-snd"},
+  };
+
+  int failures = 0;
+  for (const Ablation& a : ablations) {
+    ProtocolModel model(a.cfg);
+    InvariantChecker checker(model);
+    Explorer explorer(model, checker);
+    auto r = explorer.run(600000);
+
+    std::map<std::string, int> fails;
+    for (const auto& v : r.violations) ++fails[v.property];
+
+    std::printf("%-28s  %zu states, %.2fs\n", a.name, r.states_explored,
+                r.seconds);
+    if (std::string(a.expect_broken).empty()) {
+      if (r.ok()) {
+        std::printf("    all properties hold (as verified in the paper)\n");
+      } else {
+        std::printf("    UNEXPECTED: %zu violations in the faithful "
+                    "protocol!\n", r.violations.size());
+        ++failures;
+      }
+    } else {
+      if (fails[a.expect_broken] > 0) {
+        std::printf("    property '%s' BREAKS as predicted (%d violating "
+                    "states)\n", a.expect_broken, fails[a.expect_broken]);
+        std::printf("    shortest attack found by the checker:\n");
+        for (const auto& step : r.counterexample)
+          std::printf("      -> %s\n", step.c_str());
+      } else {
+        std::printf("    UNEXPECTED: ablation did not break '%s'\n",
+                    a.expect_broken);
+        ++failures;
+      }
+      // Other collateral breakage is informative, print it.
+      for (const auto& [prop, n] : fails) {
+        if (n > 0 && prop != a.expect_broken)
+          std::printf("    (also broken: %s, %d states)\n", prop.c_str(), n);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("RESULT: %s\n",
+              failures == 0
+                  ? "every safeguard is load-bearing; the faithful protocol "
+                    "verifies clean"
+                  : "MISMATCH between ablation predictions and exploration");
+  return failures == 0 ? 0 : 1;
+}

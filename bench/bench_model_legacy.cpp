@@ -1,0 +1,74 @@
+// E8–E10 (symbolic twin) — the checker DISCOVERS the Section 2.3 attacks
+// in the legacy protocol model, with minimal counterexample traces, and
+// proves the freshness fix eliminates them. This is the model-level
+// counterpart of bench_attack_matrix: there the scripted attacks are
+// executed; here the explorer finds them on its own.
+// Run: build/bench/bench_model_legacy
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "model/legacy_model.h"
+
+int main() {
+  using namespace enclaves::model;
+
+  std::printf("E8-E10 (symbolic): attack discovery in the legacy model\n");
+  std::printf("=======================================================\n\n");
+  std::printf("Scenario: past member E kept the old group key Kg0 and the\n"
+              "recorded rekey message {Kg0}_Ka; current Kg1 and the channel\n"
+              "key Ka are secret. The explorer searches ALL interleavings.\n\n");
+
+  int failures = 0;
+
+  {
+    LegacyModel model(LegacyModelConfig{});
+    auto r = explore_legacy(model);
+    std::map<std::string, int> by_property;
+    for (const auto& v : r.violations) ++by_property[v.property];
+
+    std::printf("VULNERABLE (Section 2.2) model: %zu states, %zu "
+                "transitions\n", r.states_explored, r.transitions_fired);
+    std::printf("  %-16s %-10s  paper attack\n", "property", "violations");
+    std::printf("  %-16s %-10d  old-key replay forces a downgrade (E10)\n",
+                "key-freshness", by_property["key-freshness"]);
+    std::printf("  %-16s %-10d  past member reads new traffic (E10)\n",
+                "confidentiality", by_property["confidentiality"]);
+    std::printf("  %-16s %-10d  forged mem_removed distorts the view (E9)\n",
+                "view-integrity", by_property["view-integrity"]);
+    if (by_property["key-freshness"] == 0 ||
+        by_property["confidentiality"] == 0 ||
+        by_property["view-integrity"] == 0) {
+      std::printf("  UNEXPECTED: an attack class was NOT found\n");
+      ++failures;
+    }
+    std::printf("\n  shortest attack found (BFS-minimal):\n");
+    for (const auto& step : r.counterexample)
+      std::printf("    -> %s\n", step.c_str());
+  }
+
+  {
+    LegacyModelConfig cfg;
+    cfg.fix_freshness = true;
+    LegacyModel model(cfg);
+    auto r = explore_legacy(model);
+    std::printf("\nFIXED model (freshness check, abstracting the §3.2 nonce "
+                "chain): %zu states\n", r.states_explored);
+    if (r.ok()) {
+      std::printf("  no violations — every discovered attack is eliminated "
+                  "by the repair\n");
+    } else {
+      std::printf("  UNEXPECTED: %zu violations survive the fix\n",
+                  r.violations.size());
+      ++failures;
+    }
+  }
+
+  std::printf("\nRESULT: %s\n",
+              failures == 0
+                  ? "matches the paper — the checker rediscovers every "
+                    "Section 2.3 attack\n        and the improved design "
+                    "removes them"
+                  : "MISMATCH");
+  return failures == 0 ? 0 : 1;
+}

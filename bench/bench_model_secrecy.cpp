@@ -1,0 +1,91 @@
+// E5/E6/E7 — the paper's verified properties, checked exhaustively:
+//   E5  secrecy of the long-term key Pa           (Section 5.1)
+//   E6  secrecy of in-use session keys + Lemma 1  (Section 5.2)
+//   E7  ordering/no-duplication (rcv prefix snd), proper authentication,
+//       key/nonce agreement                        (Section 5.4)
+// Prints a per-property verdict table over several exploration bounds.
+// Exits nonzero if any property fails anywhere.
+// Run: build/bench/bench_model_secrecy
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "model/explorer.h"
+
+int main() {
+  using namespace enclaves::model;
+
+  std::printf("E5/E6/E7: exhaustive check of the Section 5 properties\n");
+  std::printf("======================================================\n\n");
+
+  const char* properties[] = {"pa-secrecy",     "ka-secrecy",
+                              "lemma1",         "coideal",
+                              "agreement",      "usr-key-in-use",
+                              "rcv-prefix-snd", "auth-prefix",
+                              "key-independence"};
+
+  struct Bound {
+    int members, joins, admins;
+  };
+  const Bound bounds[] = {{1, 1, 1}, {1, 1, 2}, {1, 2, 1}, {1, 2, 2},
+                          {2, 1, 1}, {2, 1, 2}};
+
+  int total_failures = 0;
+  std::printf("  %-8s %-8s %-8s %10s %8s   verdict\n", "members", "joins",
+              "admins", "states", "time");
+  for (const Bound& b : bounds) {
+    ModelConfig cfg;
+    cfg.members = b.members;
+    cfg.max_joins = b.joins;
+    cfg.max_admins = b.admins;
+    ProtocolModel model(cfg);
+    InvariantChecker checker(model);
+    Explorer explorer(model, checker);
+    auto r = explorer.run(600000);
+
+    std::map<std::string, int> fails;
+    for (const auto& v : r.violations) ++fails[v.property];
+
+    bool ok = true;
+    for (const char* p : properties) ok &= (fails[p] == 0);
+    if (!ok) ++total_failures;
+    std::printf("  %-8d %-8d %-8d %10zu %7.2fs   %s%s\n", b.members,
+                b.joins, b.admins, r.states_explored, r.seconds,
+                ok ? "ALL HOLD" : "VIOLATED",
+                r.truncated ? " (truncated)" : "");
+    if (!ok) {
+      for (const auto& [prop, n] : fails) {
+        if (n > 0) std::printf("      %s: %d violations\n", prop.c_str(), n);
+      }
+      for (const auto& step : r.counterexample)
+        std::printf("      -> %s\n", step.c_str());
+    }
+  }
+
+  std::printf("\nper-property verdicts at the largest bound (2 joins, "
+              "2 admins — includes Oops'd\nold session keys and full-session "
+              "replay by the intruder):\n");
+  {
+    ModelConfig cfg;
+    cfg.max_joins = 2;
+    cfg.max_admins = 2;
+    ProtocolModel model(cfg);
+    InvariantChecker checker(model);
+    Explorer explorer(model, checker);
+    auto r = explorer.run(600000);
+    std::map<std::string, int> fails;
+    for (const auto& v : r.violations) ++fails[v.property];
+    for (const char* p : properties) {
+      std::printf("  %-16s (paper: proved in PVS)  measured: %s\n", p,
+                  fails[p] == 0 ? "holds in every reachable state"
+                                : "VIOLATED");
+      if (fails[p] != 0) ++total_failures;
+    }
+  }
+
+  std::printf("\nRESULT: %s\n",
+              total_failures == 0
+                  ? "matches the paper — all Section 5 properties hold"
+                  : "MISMATCH: property violations found");
+  return total_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// Attack demo: a narrated run of the Section 2.3 attacks.
+//
+// Each attack from the paper is executed twice — against the ORIGINAL
+// Enclaves protocol (Section 2.2) and against the improved intrusion-
+// tolerant protocol (Section 3.2) — with a short explanation of why the
+// outcome differs.
+//
+// Run: ./build/examples/attack_demo
+#include <cstdio>
+
+#include "adversary/attacks.h"
+
+using namespace enclaves::adversary;
+
+namespace {
+
+struct Story {
+  const char* title;
+  const char* setup;
+  const char* why_legacy_falls;
+  const char* why_improved_holds;
+  AttackReport (*legacy)(std::uint64_t);
+  AttackReport (*improved)(std::uint64_t);
+};
+
+const Story kStories[] = {
+    {"Forged connection_denied (denial of service)",
+     "alice asks to join; the attacker races the leader with a forged "
+     "denial.",
+     "the legacy pre-auth exchange is plaintext: alice cannot tell the "
+     "forged denial from a real one and gives up (paper §2.3).",
+     "the improved protocol removed the pre-auth exchange entirely; every "
+     "message alice acts on must decrypt under a key the attacker lacks.",
+     forged_denial_legacy, forged_denial_improved},
+
+    {"Forged mem_removed (membership lie by an insider)",
+     "mallory, a legitimate group member, tells bob that alice left.",
+     "legacy membership notices are sealed under the SHARED group key Kg — "
+     "mallory holds it, so she can speak in the leader's name (§2.3).",
+     "group-management messages now travel in per-member AdminMsg "
+     "exchanges under bob's session key with a nonce chain; mallory's Kg "
+     "is useless and replays are stale.",
+     mem_removed_forgery_legacy, mem_removed_forgery_improved},
+
+    {"Old group-key replay (confidentiality loss to a past member)",
+     "mallory records an old new_key message, leaves, and replays it to "
+     "bob after the leader rekeyed her out.",
+     "legacy new_key messages carry no freshness evidence; bob steps back "
+     "to the old key mallory still holds and she reads his traffic (§2.3).",
+     "the replayed key distribution carries a stale chain nonce and is "
+     "rejected; bob stays on the fresh epoch.",
+     old_key_replay_legacy, old_key_replay_improved},
+
+    {"Forged close request (unauthorised eviction)",
+     "the attacker tells the leader that bob wants to leave.",
+     "the legacy req_close is plaintext: the leader believes the sender "
+     "field and evicts bob.",
+     "ReqClose must be sealed under bob's in-use session key, which is "
+     "secret; replays from bob's previous sessions fail under the new key.",
+     forged_close_legacy, forged_close_improved},
+
+    {"Session hijack with an Oops'd key (both protocols hold)",
+     "alice's old session key becomes public after she leaves "
+     "(the paper's Oops event); the attacker replays her whole session and "
+     "forges messages under the leaked key.",
+     "legacy also uses per-session keys, so the pure replay is absorbed — "
+     "its weaknesses are elsewhere (V1-V4).",
+     "the requirements of §3.1 must hold even when old session keys are "
+     "compromised: every forgery and replay is rejected, the new session "
+     "is untouched.",
+     session_hijack_legacy, session_hijack_improved},
+
+    {"Data-plane replay",
+     "the attacker re-injects a recorded group message twice.",
+     "the legacy data plane has no replay protection: bob processes the "
+     "payment instruction three times.",
+     "per-origin, per-epoch sequence numbers make replays detectable.",
+     data_replay_legacy, data_replay_improved},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Enclaves attack demonstration (Section 2.3 of DSN'01)\n");
+  std::printf("=====================================================\n");
+
+  int n = 0;
+  for (const Story& s : kStories) {
+    std::printf("\n%d. %s\n", ++n, s.title);
+    std::printf("   scenario: %s\n\n", s.setup);
+
+    auto legacy = s.legacy(2001);
+    std::printf("   LEGACY PROTOCOL    : attacker %s\n",
+                legacy.attacker_succeeded ? "SUCCEEDS" : "blocked");
+    std::printf("                        %s\n", legacy.detail.c_str());
+    std::printf("                        why: %s\n", s.why_legacy_falls);
+
+    auto improved = s.improved(2001);
+    std::printf("   INTRUSION-TOLERANT : attacker %s\n",
+                improved.attacker_succeeded ? "SUCCEEDS (!)" : "blocked");
+    std::printf("                        %s\n", improved.detail.c_str());
+    std::printf("                        why: %s\n", s.why_improved_holds);
+  }
+
+  std::printf("\nSummary matrix:\n%s",
+              format_attack_matrix(run_all_attacks(2001)).c_str());
+  return 0;
+}

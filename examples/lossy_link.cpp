@@ -1,0 +1,114 @@
+// Lossy-link demo: the protocol over a network that drops 40% of all
+// packets. Narrates every retransmission round and shows the group
+// converging anyway — the liveness layer (byte-identical resends +
+// idempotent duplicate answers) at work, with the audit log proving that
+// none of the duplicates were mistaken for intrusions... and the reject
+// counters showing which ones were (harmlessly) turned away.
+//
+// Run: ./build/examples/lossy_link
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "crypto/password.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+using namespace enclaves;
+
+int main() {
+  std::printf("Enclaves over a 40%%-loss link\n");
+  std::printf("=============================\n\n");
+
+  net::SimNetwork net;
+  DeterministicRng rng(7);
+  DeterministicRng loss(99);
+  std::uint64_t dropped = 0;
+  net.set_tap([&](const net::Packet& p) {
+    if (loss.below(100) < 40) {
+      ++dropped;
+      std::printf("  [link] DROPPED %s\n",
+                  wire::describe(p.envelope).c_str());
+      return net::TapVerdict::drop;
+    }
+    return net::TapVerdict::deliver;
+  });
+
+  core::Leader leader(core::LeaderConfig{"L", core::RekeyPolicy::strict()},
+                      rng);
+  leader.set_send([&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  });
+  net.attach("L", [&leader](const wire::Envelope& e) { leader.handle(e); });
+
+  std::map<std::string, std::unique_ptr<core::Member>> members;
+  auto add = [&](const std::string& id) -> core::Member& {
+    auto pa = crypto::derive_long_term_key(id, "pw-" + id);
+    (void)leader.register_member(id, pa);
+    auto m = std::make_unique<core::Member>(id, "L", pa, rng);
+    m->set_send([&net](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    members[id] = std::move(m);
+    return *raw;
+  };
+
+  auto& alice = add("alice");
+  auto& bob = add("bob");
+
+  auto converged = [&] {
+    for (const auto& [id, m] : members) {
+      const auto* s = leader.session(id);
+      if (!s || s->state() != core::LeaderSession::State::connected ||
+          s->queue_depth() != 0)
+        return false;
+      if (!m->connected() || m->epoch() != leader.epoch()) return false;
+    }
+    return leader.member_count() == members.size();
+  };
+
+  (void)alice.join();
+  (void)bob.join();
+  net.run();
+
+  int rounds = 0;
+  while (!converged() && rounds < 100) {
+    ++rounds;
+    std::size_t resent = leader.tick();
+    for (auto& [id, m] : members) resent += m->tick();
+    if (resent > 0)
+      std::printf("  [tick %2d] %zu retransmissions\n", rounds, resent);
+    net.run();
+  }
+
+  std::printf("\nconverged after %d retransmission rounds; %llu packets "
+              "were dropped by the link\n",
+              rounds, static_cast<unsigned long long>(dropped));
+  std::printf("leader: %s\n", leader.stats().to_string().c_str());
+  std::printf("alice: connected=%d epoch=%llu   bob: connected=%d "
+              "epoch=%llu\n",
+              alice.connected(),
+              static_cast<unsigned long long>(alice.epoch()),
+              bob.connected(),
+              static_cast<unsigned long long>(bob.epoch()));
+
+  // Chat across the lossy link (data plane is fire-and-forget; the admin
+  // channel underneath keeps the keys and views in sync).
+  int bob_got = 0;
+  bob.set_event_handler([&bob_got](const core::GroupEvent& ev) {
+    if (std::holds_alternative<core::DataReceived>(ev)) ++bob_got;
+  });
+  for (int i = 0; i < 10; ++i) {
+    (void)alice.send_data(to_bytes("msg " + std::to_string(i)));
+    net.run();
+  }
+  std::printf("\ndata plane: alice sent 10, bob received %d (loss is "
+              "visible here — by design\nthe paper's guarantees cover "
+              "group MANAGEMENT, which converged despite the link)\n",
+              bob_got);
+  return converged() ? 0 : 1;
+}

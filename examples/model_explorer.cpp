@@ -1,0 +1,66 @@
+// Model explorer: interactive-style tour of the symbolic verification.
+//
+// Runs the exhaustive exploration of the Section 4 model and prints, for
+// every verification-diagram box (Figure 4), the shortest concrete event
+// sequence that reaches it — a witness trace a reader can follow with the
+// paper open. Then prints the properties verified and the exploration
+// statistics.
+//
+// Run: ./build/examples/model_explorer
+#include <cstdio>
+
+#include "model/explorer.h"
+
+using namespace enclaves::model;
+
+int main() {
+  std::printf("Enclaves symbolic model explorer\n");
+  std::printf("================================\n\n");
+  std::printf("Model: honest user A (Fig. 2) + honest leader L (Fig. 3) + "
+              "Dolev-Yao intruder E.\n");
+  std::printf("E reads everything, replays anything, and synthesizes every "
+              "message derivable\nfrom its knowledge "
+              "(Synth(Analz(I(E) ∪ trace)) ∪ fresh values).\n");
+  std::printf("Bounds: 2 join handshakes, 2 admin messages, full Oops "
+              "semantics on close.\n\n");
+
+  ModelConfig cfg;
+  cfg.max_joins = 2;
+  cfg.max_admins = 2;
+  ProtocolModel model(cfg);
+  InvariantChecker checker(model);
+  Explorer explorer(model, checker);
+  auto r = explorer.run(600000);
+
+  std::printf("explored %zu states / %zu transitions in %.3fs (depth %zu)\n",
+              r.states_explored, r.transitions_fired, r.seconds, r.max_depth);
+  std::printf("violations found: %zu\n\n", r.violations.size());
+
+  std::printf("Witness trace to each Figure 4 box (shortest found):\n");
+  for (const auto& [box, witness] : r.box_witnesses) {
+    std::printf("\n  %s  (%zu states)\n", box_name(box), r.box_visits[box]);
+    if (witness.empty()) {
+      std::printf("    (initial state)\n");
+      continue;
+    }
+    for (const auto& step : witness) std::printf("    %s\n", step.c_str());
+    auto traces = r.box_witness_traces.find(box);
+    if (traces != r.box_witness_traces.end() && !traces->second.empty()) {
+      std::printf("    on the wire at that point:\n");
+      for (const auto& f : traces->second)
+        std::printf("      %s\n", f.c_str());
+    }
+  }
+
+  std::printf("\nLegend: [known] = the intruder delivered a field it "
+              "possesses (replay or honest\nforwarding); [synth] = the "
+              "intruder built the message itself — such steps appear\nonly "
+              "where the needed keys are legitimately public.\n");
+
+  std::printf("\nProperties checked in every state: pa-secrecy, ka-secrecy, "
+              "lemma1, coideal,\nagreement, usr-key-in-use, rcv-prefix-snd, "
+              "auth-prefix, and all box predicates.\n");
+  std::printf("%s\n", r.ok() ? "All hold — matching the paper's PVS result."
+                             : "VIOLATIONS FOUND — see above.");
+  return r.ok() ? 0 : 1;
+}

@@ -1,0 +1,587 @@
+#include "adversary/attacks.h"
+
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "adversary/intruder.h"
+#include "core/leader.h"
+#include "core/member.h"
+#include "crypto/password.h"
+#include "legacy/legacy_leader.h"
+#include "legacy/legacy_member.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+#include "wire/legacy_payloads.h"
+#include "wire/payloads.h"
+
+namespace enclaves::adversary {
+
+namespace {
+
+constexpr const char* kLegacy = "legacy";
+constexpr const char* kImproved = "intrusion-tolerant";
+
+// Cheap parameters: attack scripts derive keys dozens of times.
+crypto::PasswordParams fast_params() {
+  return crypto::PasswordParams{16, "attack-lab"};
+}
+
+crypto::LongTermKey pa_for(const std::string& id) {
+  return crypto::derive_long_term_key(id, "pw-" + id, fast_params());
+}
+
+/// Leader + members of the IMPROVED protocol wired onto one SimNetwork.
+struct CoreWorld {
+  explicit CoreWorld(std::uint64_t seed, core::RekeyPolicy policy)
+      : rng(seed), leader(core::LeaderConfig{"L", policy}, rng) {
+    leader.set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
+  }
+
+  core::Member& add_member(const std::string& id) {
+    auto m = std::make_unique<core::Member>(id, "L", pa_for(id), rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    (void)leader.register_member(id, pa_for(id));
+    members[id] = std::move(m);
+    return *raw;
+  }
+
+  void join(const std::string& id) {
+    (void)members[id]->join();
+    net.run();
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  core::Leader leader;
+  std::map<std::string, std::unique_ptr<core::Member>> members;
+};
+
+/// Leader + members of the LEGACY protocol wired onto one SimNetwork.
+struct LegacyWorld {
+  explicit LegacyWorld(std::uint64_t seed, core::RekeyPolicy policy)
+      : rng(seed), leader(legacy::LegacyLeaderConfig{"L", policy}, rng) {
+    leader.set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
+  }
+
+  legacy::LegacyMember& add_member(const std::string& id) {
+    auto m = std::make_unique<legacy::LegacyMember>(id, "L", pa_for(id), rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    (void)leader.register_member(id, pa_for(id));
+    members[id] = std::move(m);
+    return *raw;
+  }
+
+  void join(const std::string& id) {
+    (void)members[id]->join();
+    net.run();
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  legacy::LegacyLeader leader;
+  std::map<std::string, std::unique_ptr<legacy::LegacyMember>> members;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// E8: forged connection_denied (denial of service on join)
+// ---------------------------------------------------------------------------
+
+AttackReport forged_denial_legacy(std::uint64_t seed) {
+  LegacyWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xA77);
+  Intruder intruder(w.net, attacker_rng);
+  auto& alice = w.add_member("alice");
+
+  // Alice asks to join; the attacker races the leader's ack_open with a
+  // forged plaintext denial.
+  (void)alice.join();  // queues ReqOpen
+  wire::Envelope denial;
+  denial.label = wire::Label::LegacyConnectionDenied;
+  denial.sender = "L";  // lie
+  denial.recipient = "alice";
+  intruder.inject("alice", std::move(denial));
+  w.net.run();
+
+  bool success = alice.was_denied();
+  return {"forged-denial", kLegacy, success,
+          success ? "alice believed a forged connection_denied and gave up"
+                  : "alice joined despite the forgery"};
+}
+
+AttackReport forged_denial_improved(std::uint64_t seed) {
+  CoreWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xA77);
+  Intruder intruder(w.net, attacker_rng);
+  auto& alice = w.add_member("alice");
+
+  (void)alice.join();
+  // The improved protocol has no pre-auth exchange to forge; the attacker
+  // tries the legacy denial anyway plus a garbage AuthKeyDist under a key it
+  // invented.
+  wire::Envelope denial;
+  denial.label = wire::Label::LegacyConnectionDenied;
+  denial.sender = "L";
+  denial.recipient = "alice";
+  intruder.inject("alice", std::move(denial));
+  Bytes junk_key = attacker_rng.bytes(crypto::Aead::kKeySize);
+  intruder.inject("alice",
+                  intruder.forge_sealed(wire::Label::AuthKeyDist, "L",
+                                        "alice", junk_key,
+                                        attacker_rng.bytes(64)));
+  w.net.run();
+
+  bool success = !alice.connected();
+  return {"forged-denial", kImproved, success,
+          success ? "alice failed to join"
+                  : "alice joined; forged denial and junk key-dist ignored"};
+}
+
+// ---------------------------------------------------------------------------
+// E9: insider forges mem_removed to distort another member's view
+// ---------------------------------------------------------------------------
+
+AttackReport mem_removed_forgery_legacy(std::uint64_t seed) {
+  LegacyWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xBEE);
+  Intruder intruder(w.net, attacker_rng);
+
+  auto& alice = w.add_member("alice");  // the member to be "removed"
+  auto& bob = w.add_member("bob");      // the victim whose view is poisoned
+  auto& mallory = w.add_member("mallory");  // the malicious insider
+  w.join("alice");
+  w.join("bob");
+  w.join("mallory");
+  (void)alice;
+
+  // Mallory is a legitimate member, so she holds Kg — enough to forge the
+  // membership notice {alice}_Kg in the leader's name.
+  intruder.learn_key(mallory.group_key().to_bytes());
+  wire::LegacyMembershipPayload lie{"alice"};
+  intruder.inject("bob",
+                  intruder.forge_sealed(wire::Label::LegacyMemRemoved, "L",
+                                        "bob", mallory.group_key().view(),
+                                        wire::encode(lie)));
+  w.net.run();
+
+  bool alice_in_bob_view = false;
+  for (const auto& m : bob.view()) alice_in_bob_view |= (m == "alice");
+  bool success = !alice_in_bob_view && w.leader.is_member("alice");
+  return {"mem-removed-forgery", kLegacy, success,
+          success ? "bob dropped alice from his view while she is still in"
+                  : "bob's view still lists alice"};
+}
+
+AttackReport mem_removed_forgery_improved(std::uint64_t seed) {
+  CoreWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xBEE);
+  Intruder intruder(w.net, attacker_rng);
+
+  w.add_member("alice");
+  auto& bob = w.add_member("bob");
+  w.add_member("mallory");
+  w.join("alice");
+  w.join("bob");
+  w.join("mallory");
+
+  // Mallory knows Kg (she is a member: same key the leader distributes) but
+  // NOT bob's session key. She tries (a) an AdminMsg forged under Kg, and
+  // (b) replaying bob's most recent genuine AdminMsg.
+  {
+    crypto::GroupKey kg =
+        crypto::GroupKey::from_bytes(w.leader.group_key().to_bytes());
+    intruder.learn_key(kg.to_bytes());
+    wire::AdminPayload lie{"L", "bob", crypto::ProtocolNonce{},
+                           crypto::ProtocolNonce{},
+                           wire::AdminBody(wire::MemberLeft{"alice"})};
+    intruder.inject("bob",
+                    intruder.forge_sealed(wire::Label::AdminMsg, "L", "bob",
+                                          kg.view(), wire::encode(lie)));
+  }
+  if (auto last_admin = intruder.find_last(wire::Label::AdminMsg, "bob"))
+    intruder.replay(*last_admin);
+  w.net.run();
+
+  bool alice_in_bob_view = false;
+  for (const auto& m : bob.view()) alice_in_bob_view |= (m == "alice");
+  bool success = !alice_in_bob_view;
+  std::uint64_t rejects = bob.session().reject_stats().total();
+  return {"mem-removed-forgery", kImproved, success,
+          success ? "bob dropped alice from his view"
+                  : "forgery and replay rejected (" +
+                        std::to_string(rejects) + " rejects); view intact"};
+}
+
+// ---------------------------------------------------------------------------
+// E10: past member replays an old new_key / NewGroupKey distribution
+// ---------------------------------------------------------------------------
+
+AttackReport old_key_replay_legacy(std::uint64_t seed) {
+  LegacyWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xC0DE);
+  Intruder intruder(w.net, attacker_rng);
+
+  auto& mallory = w.add_member("mallory");  // will leave, keeping old keys
+  auto& bob = w.add_member("bob");          // the victim
+  w.join("mallory");
+  w.join("bob");
+
+  // Epoch 2: both members get new_key messages; mallory records bob's and
+  // keeps the key (she is still a member, she receives it legitimately).
+  w.leader.rekey();
+  w.net.run();
+  intruder.learn_key(mallory.group_key().to_bytes());
+  auto old_new_key = intruder.find_last(wire::Label::LegacyNewKey, "bob");
+
+  // Mallory leaves; the leader rekeys to epoch 3, which mallory never sees.
+  (void)mallory.leave();
+  w.net.run();
+  w.leader.rekey();
+  w.net.run();
+  const std::uint64_t fresh_epoch = bob.epoch();
+
+  // The replay: bob steps back to the compromised epoch-2 key.
+  if (old_new_key) intruder.replay(*old_new_key);
+  w.net.run();
+
+  // Bob now "confidentially" reports to the group.
+  std::size_t before = intruder.decryptable_count();
+  (void)bob.send_data(to_bytes("quarterly numbers: 42"));
+  w.net.run();
+  std::size_t after = intruder.decryptable_count();
+
+  bool stepped_back = bob.epoch() < fresh_epoch;
+  bool success = stepped_back && after > before;
+  return {"old-key-replay", kLegacy, success,
+          success ? "bob reverted to the old key; mallory reads his traffic"
+                  : "bob kept the fresh key"};
+}
+
+AttackReport old_key_replay_improved(std::uint64_t seed) {
+  CoreWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xC0DE);
+  Intruder intruder(w.net, attacker_rng);
+
+  w.add_member("mallory");
+  auto& bob = w.add_member("bob");
+  auto& mallory = *w.members["mallory"];
+  w.join("mallory");
+  w.join("bob");
+
+  w.leader.rekey();
+  w.net.run();
+  // Mallory records the AdminMsg that carried epoch-2's key to bob and, as
+  // a member, holds the epoch-2 group key itself.
+  intruder.learn_key(w.leader.group_key().to_bytes());
+  auto old_admin = intruder.find_last(wire::Label::AdminMsg, "bob");
+
+  (void)mallory.leave();
+  w.net.run();
+  w.leader.rekey();
+  w.net.run();
+  const std::uint64_t fresh_epoch = bob.epoch();
+
+  if (old_admin) intruder.replay(*old_admin);
+  w.net.run();
+
+  std::size_t before = intruder.decryptable_count();
+  (void)bob.send_data(to_bytes("quarterly numbers: 42"));
+  w.net.run();
+  std::size_t after = intruder.decryptable_count();
+
+  bool success = bob.epoch() < fresh_epoch || after > before;
+  return {"old-key-replay", kImproved, success,
+          success ? "bob reverted to an old key"
+                  : "replayed key-distribution rejected as stale; "
+                    "mallory cannot read bob's traffic"};
+}
+
+// ---------------------------------------------------------------------------
+// E11a: forged close request (unauthorised eviction)
+// ---------------------------------------------------------------------------
+
+AttackReport forged_close_legacy(std::uint64_t seed) {
+  LegacyWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xD00D);
+  Intruder intruder(w.net, attacker_rng);
+
+  w.add_member("alice");
+  w.add_member("bob");
+  w.join("alice");
+  w.join("bob");
+
+  // req_close is PLAINTEXT in the legacy protocol: anyone can say "bob".
+  wire::Envelope forged;
+  forged.label = wire::Label::LegacyReqClose;
+  forged.sender = "bob";  // lie
+  forged.recipient = "L";
+  intruder.inject("L", std::move(forged));
+  w.net.run();
+
+  bool success = !w.leader.is_member("bob");
+  return {"forged-close", kLegacy, success,
+          success ? "leader evicted bob on a forged plaintext req_close"
+                  : "bob still a member"};
+}
+
+AttackReport forged_close_improved(std::uint64_t seed) {
+  CoreWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xD00D);
+  Intruder intruder(w.net, attacker_rng);
+
+  w.add_member("alice");
+  auto& bob = w.add_member("bob");
+  w.join("alice");
+  w.join("bob");
+
+  // Attempt 1: ReqClose sealed under an invented key.
+  Bytes junk_key = attacker_rng.bytes(crypto::Aead::kKeySize);
+  wire::ReqClosePayload lie{"bob", "L"};
+  intruder.inject("L", intruder.forge_sealed(wire::Label::ReqClose, "bob",
+                                             "L", junk_key,
+                                             wire::encode(lie)));
+  w.net.run();
+
+  // Attempt 2: make bob leave and rejoin, then replay the OLD (genuine)
+  // ReqClose against the new session.
+  (void)bob.leave();
+  w.net.run();
+  auto old_close = intruder.find_last(wire::Label::ReqClose, "L");
+  (void)bob.join();
+  w.net.run();
+  if (old_close) intruder.replay(*old_close);
+  w.net.run();
+
+  bool success = !w.leader.is_member("bob");
+  return {"forged-close", kImproved, success,
+          success ? "leader evicted bob without bob's consent"
+                  : "forged and replayed ReqClose rejected; bob still in"};
+}
+
+// ---------------------------------------------------------------------------
+// E11b: abuse of an Oops-leaked old session key
+// ---------------------------------------------------------------------------
+
+AttackReport session_hijack_improved(std::uint64_t seed) {
+  CoreWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xF00);
+  Intruder intruder(w.net, attacker_rng);
+
+  // Oops(Ka): when alice's session closes, the discarded key becomes public
+  // (paper, Figure 3). The attacker collects it.
+  Bytes leaked_ka;
+  w.leader.on_oops = [&intruder, &leaked_ka](const std::string&,
+                                             const crypto::SessionKey& k) {
+    leaked_ka = k.to_bytes();
+    intruder.learn_key(k.to_bytes());
+  };
+
+  auto& alice = w.add_member("alice");
+  w.join("alice");
+  w.leader.broadcast_notice("welcome round 1");
+  w.net.run();
+  (void)alice.leave();
+  w.net.run();  // Oops fires here
+
+  // Alice rejoins with a fresh session.
+  (void)alice.join();
+  w.net.run();
+  const auto rcv_before = alice.rcv_log().size();
+
+  // The attacker knows the OLD Ka: forge an AdminMsg to alice, a ReqClose
+  // to the leader, and an Ack to the leader, all under the leaked key.
+  if (!leaked_ka.empty()) {
+    wire::AdminPayload admin_lie{
+        "L", "alice", crypto::ProtocolNonce{}, crypto::ProtocolNonce{},
+        wire::AdminBody(wire::Notice{"attacker says hi"})};
+    intruder.inject("alice", intruder.forge_sealed(wire::Label::AdminMsg,
+                                                   "L", "alice", leaked_ka,
+                                                   wire::encode(admin_lie)));
+    wire::ReqClosePayload close_lie{"alice", "L"};
+    intruder.inject("L", intruder.forge_sealed(wire::Label::ReqClose,
+                                               "alice", "L", leaked_ka,
+                                               wire::encode(close_lie)));
+    wire::AckPayload ack_lie{"alice", "L", crypto::ProtocolNonce{},
+                             crypto::ProtocolNonce{}};
+    intruder.inject("L", intruder.forge_sealed(wire::Label::Ack, "alice",
+                                               "L", leaked_ka,
+                                               wire::encode(ack_lie)));
+  }
+  w.net.run();
+
+  // Replay alice's ENTIRE first session at both parties. Snapshot first:
+  // replaying appends to the observed log.
+  const std::vector<net::Packet> snapshot = intruder.observed();
+  for (const auto& p : snapshot) {
+    if (p.to == "alice" || p.to == "L") intruder.replay(p);
+  }
+  w.net.run(1u << 16);
+
+  // Property check: everything alice accepted this session is exactly what
+  // the leader sent this session, in order (rcv prefix of snd).
+  const auto& snd = w.leader.session("alice")->snd_log();
+  const auto& rcv = alice.rcv_log();
+  bool prefix_ok = rcv.size() <= snd.size() + rcv_before;
+  bool still_member = w.leader.is_member("alice") && alice.connected();
+  bool success = !prefix_ok || !still_member;
+  return {"session-hijack", kImproved, success,
+          success ? "old-session replay perturbed the new session"
+                  : "full-session replay absorbed; new session intact"};
+}
+
+AttackReport session_hijack_legacy(std::uint64_t seed) {
+  LegacyWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xF00);
+  Intruder intruder(w.net, attacker_rng);
+
+  auto& alice = w.add_member("alice");
+  w.join("alice");
+  // Record the whole first session, including its key material via the
+  // member (simulating the host compromise the paper describes).
+  Bytes old_ka = alice.session_key().to_bytes();
+  intruder.learn_key(old_ka);
+  intruder.learn_key(alice.group_key().to_bytes());
+  (void)alice.leave();
+  w.net.run();
+
+  (void)alice.join();
+  w.net.run();
+  const std::uint64_t epoch_before = alice.epoch();
+
+  // Forge a new_key under the OLD session key and replay the old session.
+  // Note: legacy sessions also refresh Ka per join, so this should fail to
+  // open — the legacy weakness lies elsewhere (V1–V4).
+  wire::LegacyNewKeyPayload lie{
+      crypto::GroupKey::from_bytes(attacker_rng.bytes(crypto::kKeyBytes)),
+      attacker_rng.bytes(16), 99};
+  intruder.inject("alice",
+                  intruder.forge_sealed(wire::Label::LegacyNewKey, "L",
+                                        "alice", old_ka, wire::encode(lie)));
+  const std::vector<net::Packet> snapshot = intruder.observed();
+  for (const auto& p : snapshot) {
+    if (p.to == "alice" || p.to == "L") intruder.replay(p);
+  }
+  w.net.run(1u << 16);
+
+  bool success = alice.epoch() == 99 || alice.epoch() != epoch_before ||
+                 !alice.connected();
+  return {"session-hijack", kLegacy, success,
+          success ? "old-session replay perturbed alice's new session"
+                  : "replay absorbed; session keys are per-join in legacy too"};
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane replay
+// ---------------------------------------------------------------------------
+
+AttackReport data_replay_legacy(std::uint64_t seed) {
+  LegacyWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xDA7A);
+  Intruder intruder(w.net, attacker_rng);
+
+  auto& alice = w.add_member("alice");
+  auto& bob = w.add_member("bob");
+  w.join("alice");
+  w.join("bob");
+
+  std::size_t received = 0;
+  bob.set_event_handler([&received](const core::GroupEvent& ev) {
+    if (std::holds_alternative<core::DataReceived>(ev)) ++received;
+  });
+
+  (void)alice.send_data(to_bytes("transfer $100 to carol"));
+  w.net.run();
+  auto relayed = intruder.find_last(wire::Label::GroupData, "bob");
+  if (relayed) {
+    intruder.replay(*relayed);
+    intruder.replay(*relayed);
+  }
+  w.net.run();
+
+  bool success = received >= 3;  // original + 2 replays all delivered
+  return {"data-replay", kLegacy, success,
+          success ? "bob processed the same message " +
+                        std::to_string(received) + " times"
+                  : "replays not delivered"};
+}
+
+AttackReport data_replay_improved(std::uint64_t seed) {
+  CoreWorld w(seed, core::RekeyPolicy::manual());
+  DeterministicRng attacker_rng(seed ^ 0xDA7A);
+  Intruder intruder(w.net, attacker_rng);
+
+  auto& alice = w.add_member("alice");
+  auto& bob = w.add_member("bob");
+  w.join("alice");
+  w.join("bob");
+
+  std::size_t received = 0;
+  bob.set_event_handler([&received](const core::GroupEvent& ev) {
+    if (std::holds_alternative<core::DataReceived>(ev)) ++received;
+  });
+
+  (void)alice.send_data(to_bytes("transfer $100 to carol"));
+  w.net.run();
+  auto relayed = intruder.find_last(wire::Label::GroupData, "bob");
+  if (relayed) {
+    intruder.replay(*relayed);
+    intruder.replay(*relayed);
+  }
+  w.net.run();
+
+  bool success = received >= 2;
+  return {"data-replay", kImproved, success,
+          success ? "bob processed a replayed data message"
+                  : "replays rejected by per-origin sequence check; " +
+                        std::to_string(bob.data_rejects()) + " rejects"};
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<AttackReport> run_all_attacks(std::uint64_t seed) {
+  return {
+      forged_denial_legacy(seed),       forged_denial_improved(seed),
+      mem_removed_forgery_legacy(seed), mem_removed_forgery_improved(seed),
+      old_key_replay_legacy(seed),      old_key_replay_improved(seed),
+      forged_close_legacy(seed),        forged_close_improved(seed),
+      session_hijack_legacy(seed),      session_hijack_improved(seed),
+      data_replay_legacy(seed),         data_replay_improved(seed),
+  };
+}
+
+std::string format_attack_matrix(const std::vector<AttackReport>& reports) {
+  std::ostringstream out;
+  out << "+----------------------+---------------------+-----------+\n";
+  out << "| attack               | protocol            | attacker  |\n";
+  out << "+----------------------+---------------------+-----------+\n";
+  for (const auto& r : reports) {
+    out << "| ";
+    out.width(20);
+    out.setf(std::ios::left);
+    out << r.attack << " | ";
+    out.width(19);
+    out << r.protocol << " | ";
+    out.width(9);
+    out << (r.attacker_succeeded ? "SUCCEEDS" : "blocked") << " |\n";
+  }
+  out << "+----------------------+---------------------+-----------+\n";
+  return out.str();
+}
+
+}  // namespace enclaves::adversary

@@ -1,0 +1,56 @@
+// Scripted attacks reproducing Section 2.3 of the paper, each run against
+// BOTH the legacy protocol (expected: attacker succeeds) and the improved
+// intrusion-tolerant protocol (expected: attacker blocked).
+//
+// Attack catalogue:
+//   forged-denial        — forge connection_denied to lock a user out (§2.3)
+//   mem-removed-forgery  — insider forges "A left" to another member (§2.3)
+//   old-key-replay       — past member replays an old new_key and reads
+//                          subsequent traffic (§2.3)
+//   forged-close         — evict a member by forging its close request
+//   session-hijack       — abuse an Oops-leaked old session key (§3.1)
+//   data-replay          — replay a data-plane message within an epoch
+//
+// Every attack returns a report stating whether the ATTACKER achieved its
+// goal; the experiment harness (bench_attack_matrix) asserts the expected
+// legacy/improved split and prints the E8–E11 table of EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace enclaves::adversary {
+
+struct AttackReport {
+  std::string attack;    // catalogue name above
+  std::string protocol;  // "legacy" or "intrusion-tolerant"
+  bool attacker_succeeded = false;
+  std::string detail;    // one-line narration of what happened
+};
+
+AttackReport forged_denial_legacy(std::uint64_t seed);
+AttackReport forged_denial_improved(std::uint64_t seed);
+
+AttackReport mem_removed_forgery_legacy(std::uint64_t seed);
+AttackReport mem_removed_forgery_improved(std::uint64_t seed);
+
+AttackReport old_key_replay_legacy(std::uint64_t seed);
+AttackReport old_key_replay_improved(std::uint64_t seed);
+
+AttackReport forged_close_legacy(std::uint64_t seed);
+AttackReport forged_close_improved(std::uint64_t seed);
+
+AttackReport session_hijack_legacy(std::uint64_t seed);
+AttackReport session_hijack_improved(std::uint64_t seed);
+
+AttackReport data_replay_legacy(std::uint64_t seed);
+AttackReport data_replay_improved(std::uint64_t seed);
+
+/// Runs the whole catalogue against both protocols.
+std::vector<AttackReport> run_all_attacks(std::uint64_t seed);
+
+/// Renders the attack matrix as a fixed-width table.
+std::string format_attack_matrix(const std::vector<AttackReport>& reports);
+
+}  // namespace enclaves::adversary

@@ -1,0 +1,69 @@
+#include "adversary/intruder.h"
+
+#include "wire/seal.h"
+
+namespace enclaves::adversary {
+
+Intruder::Intruder(net::SimNetwork& net, Rng& rng, const crypto::Aead& aead)
+    : net_(net), rng_(rng), aead_(aead) {}
+
+void Intruder::learn_key(Bytes key) { keys_.push_back(std::move(key)); }
+
+std::optional<net::Packet> Intruder::find_last(wire::Label label,
+                                               const std::string& to) const {
+  const auto& log = net_.log();
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    if (it->envelope.label != label) continue;
+    if (!to.empty() && it->to != to) continue;
+    return *it;
+  }
+  return std::nullopt;
+}
+
+std::vector<net::Packet> Intruder::find_all(wire::Label label,
+                                            const std::string& to) const {
+  std::vector<net::Packet> out;
+  for (const auto& p : net_.log()) {
+    if (p.envelope.label != label) continue;
+    if (!to.empty() && p.to != to) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void Intruder::replay(const net::Packet& p) { net_.inject(p.to, p.envelope); }
+
+void Intruder::redirect(const net::Packet& p, const std::string& to) {
+  net_.inject(to, p.envelope);
+}
+
+void Intruder::inject(const std::string& to, wire::Envelope e) {
+  net_.inject(to, std::move(e));
+}
+
+wire::Envelope Intruder::forge_sealed(wire::Label label,
+                                      const std::string& sender,
+                                      const std::string& recipient,
+                                      BytesView key, BytesView plaintext) {
+  return wire::make_sealed(aead_, key, rng_, label, sender, recipient,
+                           plaintext);
+}
+
+std::optional<Bytes> Intruder::try_open(const wire::Envelope& e) const {
+  for (const auto& key : keys_) {
+    if (key.size() != crypto::Aead::kKeySize) continue;
+    auto plain = wire::open_sealed(aead_, key, e);
+    if (plain) return *std::move(plain);
+  }
+  return std::nullopt;
+}
+
+std::size_t Intruder::decryptable_count() const {
+  std::size_t n = 0;
+  for (const auto& p : net_.log()) {
+    if (try_open(p.envelope)) ++n;
+  }
+  return n;
+}
+
+}  // namespace enclaves::adversary

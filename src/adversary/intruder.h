@@ -1,0 +1,72 @@
+// Intruder — a concrete Dolev-Yao attacker over the simulated network.
+//
+// Capabilities (Section 3.1 of the paper): reads all traffic ever sent,
+// replays recorded messages verbatim, injects arbitrary envelopes, and
+// forges any ciphertext it can construct from keys it has learned (its own
+// credentials as a malicious insider, keys leaked by colluders, or old
+// session keys released by Oops events). It cannot break the AEAD.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/aead.h"
+#include "net/sim_network.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "wire/envelope.h"
+
+namespace enclaves::adversary {
+
+class Intruder {
+ public:
+  Intruder(net::SimNetwork& net, Rng& rng,
+           const crypto::Aead& aead = crypto::default_aead());
+
+  /// Adds 32-byte key material to the key ring (leaked Pa/Ka/Kg).
+  void learn_key(Bytes key);
+  std::size_t key_count() const { return keys_.size(); }
+
+  /// Everything that has appeared on the wire (the eavesdropper's view).
+  const std::vector<net::Packet>& observed() const { return net_.log(); }
+
+  /// Most recent observed packet with this label, optionally filtered by
+  /// network destination.
+  std::optional<net::Packet> find_last(
+      wire::Label label, const std::string& to = std::string()) const;
+
+  /// All observed packets with this label (oldest first).
+  std::vector<net::Packet> find_all(
+      wire::Label label, const std::string& to = std::string()) const;
+
+  /// Replays a recorded packet verbatim to its original destination.
+  void replay(const net::Packet& p);
+
+  /// Replays a recorded envelope to a destination of the attacker's choice.
+  void redirect(const net::Packet& p, const std::string& to);
+
+  /// Injects an arbitrary envelope.
+  void inject(const std::string& to, wire::Envelope e);
+
+  /// Builds a sealed envelope under a known key (forgery primitive).
+  wire::Envelope forge_sealed(wire::Label label, const std::string& sender,
+                              const std::string& recipient, BytesView key,
+                              BytesView plaintext);
+
+  /// Attempts to decrypt an envelope body with every key on the ring.
+  /// Returns the plaintext on the first success.
+  std::optional<Bytes> try_open(const wire::Envelope& e) const;
+
+  /// Sweeps the whole observed log and counts how many sealed bodies the
+  /// key ring can open — the "confidentiality loss" metric.
+  std::size_t decryptable_count() const;
+
+ private:
+  net::SimNetwork& net_;
+  Rng& rng_;
+  const crypto::Aead& aead_;
+  std::vector<Bytes> keys_;
+};
+
+}  // namespace enclaves::adversary

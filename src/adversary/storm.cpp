@@ -1,0 +1,73 @@
+#include "adversary/storm.h"
+
+namespace enclaves::adversary {
+
+const std::string& StormAttacker::random_target() {
+  return targets_[rng_.below(targets_.size())];
+}
+
+void StormAttacker::replay_random() {
+  const auto& log = net_.log();
+  if (log.empty()) return;
+  const net::Packet& p = log[rng_.below(log.size())];
+  net_.inject(p.to, p.envelope);
+  ++stats_.replays;
+}
+
+void StormAttacker::redirect_random() {
+  const auto& log = net_.log();
+  if (log.empty()) return;
+  const net::Packet& p = log[rng_.below(log.size())];
+  net_.inject(random_target(), p.envelope);
+  ++stats_.redirects;
+}
+
+void StormAttacker::mutate_random() {
+  const auto& log = net_.log();
+  if (log.empty()) return;
+  wire::Envelope e = log[rng_.below(log.size())].envelope;
+  switch (rng_.below(4)) {
+    case 0:  // flip a body bit
+      if (!e.body.empty())
+        e.body[rng_.below(e.body.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.below(8));
+      break;
+    case 1:  // truncate the body
+      if (!e.body.empty())
+        e.body.resize(rng_.below(e.body.size()));
+      break;
+    case 2:  // swap the label for another valid one
+      e.label = static_cast<wire::Label>(
+          rng_.below(2) == 0 ? 1 + rng_.below(6) : 32 + rng_.below(12));
+      break;
+    default:  // lie about the sender
+      e.sender = random_target();
+      break;
+  }
+  net_.inject(random_target(), std::move(e));
+  ++stats_.mutations;
+}
+
+void StormAttacker::fabricate() {
+  wire::Envelope e;
+  e.label = static_cast<wire::Label>(rng_.below(2) == 0 ? 1 + rng_.below(6)
+                                                        : 64);
+  e.sender = random_target();
+  e.recipient = random_target();
+  e.body = rng_.bytes(rng_.below(160));
+  net_.inject(random_target(), std::move(e));
+  ++stats_.fabrications;
+}
+
+void StormAttacker::storm(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng_.below(4)) {
+      case 0: replay_random(); break;
+      case 1: redirect_random(); break;
+      case 2: mutate_random(); break;
+      default: fabricate(); break;
+    }
+  }
+}
+
+}  // namespace enclaves::adversary

@@ -1,0 +1,58 @@
+// StormAttacker — randomized Dolev-Yao harassment.
+//
+// Where attacks.h scripts the paper's specific Section 2.3 attacks, the
+// storm explores the neighborhood: at every round it randomly replays
+// recorded packets (verbatim or re-addressed), injects bit-flipped mutants,
+// fabricates envelopes with random labels/bodies, and replays whole bursts
+// out of order. Against the intrusion-tolerant protocol none of this may
+// perturb an honest participant's state — the property tests and
+// bench_protocol_perf's storm rows quantify that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/sim_network.h"
+#include "util/rng.h"
+#include "wire/envelope.h"
+
+namespace enclaves::adversary {
+
+struct StormStats {
+  std::uint64_t replays = 0;
+  std::uint64_t redirects = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t fabrications = 0;
+  std::uint64_t total() const {
+    return replays + redirects + mutations + fabrications;
+  }
+};
+
+class StormAttacker {
+ public:
+  /// `targets`: agents the storm aims at (typically the leader and every
+  /// member).
+  StormAttacker(net::SimNetwork& net, Rng& rng,
+                std::vector<std::string> targets)
+      : net_(net), rng_(rng), targets_(std::move(targets)) {}
+
+  /// Fires `n` random hostile packets built from everything observed so far.
+  void storm(std::size_t n);
+
+  const StormStats& stats() const { return stats_; }
+
+ private:
+  const std::string& random_target();
+  void replay_random();
+  void redirect_random();
+  void mutate_random();
+  void fabricate();
+
+  net::SimNetwork& net_;
+  Rng& rng_;
+  std::vector<std::string> targets_;
+  StormStats stats_;
+};
+
+}  // namespace enclaves::adversary

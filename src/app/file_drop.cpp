@@ -1,0 +1,173 @@
+#include "app/file_drop.h"
+
+#include "wire/codec.h"
+
+namespace enclaves::app {
+
+namespace {
+constexpr std::uint8_t kOfferTag = 0xE1;
+constexpr std::uint8_t kChunkTag = 0xE2;
+constexpr std::uint32_t kMaxChunkCount = 1 << 20;
+}  // namespace
+
+Bytes encode(const FileOffer& o) {
+  wire::Writer w;
+  w.u8(kOfferTag);
+  w.u64(o.transfer_id);
+  w.str(o.name);
+  w.u64(o.total_size);
+  w.u32(o.chunk_count);
+  w.raw({o.digest.data(), o.digest.size()});
+  return std::move(w).take();
+}
+
+Bytes encode(const FileChunk& c) {
+  wire::Writer w;
+  w.u8(kChunkTag);
+  w.u64(c.transfer_id);
+  w.u32(c.index);
+  w.var_bytes(c.data);
+  return std::move(w).take();
+}
+
+Result<FileMessage> decode_file_message(BytesView raw) {
+  wire::Reader r(raw);
+  auto tag = r.u8();
+  if (!tag) return tag.error();
+  switch (*tag) {
+    case kOfferTag: {
+      auto id = r.u64();
+      if (!id) return id.error();
+      auto name = r.str();
+      if (!name) return name.error();
+      auto size = r.u64();
+      if (!size) return size.error();
+      auto count = r.u32();
+      if (!count) return count.error();
+      if (*count > kMaxChunkCount)
+        return make_error(Errc::oversized, "chunk count");
+      auto digest_bytes = r.raw(crypto::Sha256::kDigestSize);
+      if (!digest_bytes) return digest_bytes.error();
+      if (auto end = r.expect_end(); !end) return end.error();
+      FileOffer offer{*id, *std::move(name), *size, *count, {}};
+      std::copy(digest_bytes->begin(), digest_bytes->end(),
+                offer.digest.begin());
+      return FileMessage(std::move(offer));
+    }
+    case kChunkTag: {
+      auto id = r.u64();
+      if (!id) return id.error();
+      auto index = r.u32();
+      if (!index) return index.error();
+      auto data = r.var_bytes();
+      if (!data) return data.error();
+      if (auto end = r.expect_end(); !end) return end.error();
+      return FileMessage(FileChunk{*id, *index, *std::move(data)});
+    }
+    default:
+      return make_error(Errc::malformed, "not a file-drop payload");
+  }
+}
+
+FileDrop::FileDrop(core::Member& member, Options options)
+    : member_(member), options_(options) {
+  member_.set_event_handler(
+      [this](const core::GroupEvent& ev) { on_event(ev); });
+}
+
+Status FileDrop::send_file(const std::string& name, BytesView content) {
+  const std::size_t chunk_size = options_.chunk_size;
+  const std::uint32_t chunk_count = static_cast<std::uint32_t>(
+      content.empty() ? 0 : (content.size() + chunk_size - 1) / chunk_size);
+
+  FileOffer offer{next_transfer_id_++, name, content.size(), chunk_count,
+                  crypto::Sha256::hash(content)};
+  if (auto s = member_.send_data(encode(offer)); !s.ok()) return s;
+
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    std::size_t off = static_cast<std::size_t>(i) * chunk_size;
+    std::size_t n = std::min(chunk_size, content.size() - off);
+    FileChunk chunk{offer.transfer_id, i,
+                    Bytes(content.begin() + static_cast<std::ptrdiff_t>(off),
+                          content.begin() +
+                              static_cast<std::ptrdiff_t>(off + n))};
+    if (auto s = member_.send_data(encode(chunk)); !s.ok()) return s;
+  }
+  return Status::success();
+}
+
+void FileDrop::handle_offer(const std::string& origin,
+                            const FileOffer& offer) {
+  // Reject absurd announcements outright.
+  if (offer.total_size > static_cast<std::uint64_t>(offer.chunk_count) *
+                             (1u << 24) &&
+      offer.chunk_count != 0) {
+    ++discarded_;
+    return;
+  }
+  auto key = std::make_pair(origin, offer.transfer_id);
+  inflight_[key] = Inflight{offer, {}, 0};
+  if (offer.chunk_count == 0) try_complete(origin, offer.transfer_id);
+}
+
+void FileDrop::handle_chunk(const std::string& origin,
+                            const FileChunk& chunk) {
+  auto key = std::make_pair(origin, chunk.transfer_id);
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;  // never offered (or already done)
+  Inflight& transfer = it->second;
+  if (chunk.index >= transfer.offer.chunk_count) {
+    ++discarded_;
+    inflight_.erase(it);
+    return;
+  }
+  auto [pos, inserted] = transfer.chunks.emplace(chunk.index, chunk.data);
+  if (!inserted) return;  // duplicate chunk: ignore
+  transfer.buffered_bytes += chunk.data.size();
+  if (transfer.buffered_bytes > options_.max_inflight_bytes ||
+      transfer.buffered_bytes > transfer.offer.total_size) {
+    ++discarded_;
+    inflight_.erase(it);
+    return;
+  }
+  if (transfer.chunks.size() == transfer.offer.chunk_count)
+    try_complete(origin, chunk.transfer_id);
+}
+
+void FileDrop::try_complete(const std::string& origin,
+                            std::uint64_t transfer_id) {
+  auto key = std::make_pair(origin, transfer_id);
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  Inflight& transfer = it->second;
+
+  Bytes content;
+  content.reserve(transfer.buffered_bytes);
+  for (auto& [index, data] : transfer.chunks) append(content, data);
+
+  bool ok = content.size() == transfer.offer.total_size &&
+            crypto::Sha256::hash(content) == transfer.offer.digest;
+  FileOffer offer = transfer.offer;
+  inflight_.erase(it);
+  if (!ok) {
+    ++discarded_;
+    return;
+  }
+  if (on_file) on_file(Received{origin, offer.name, std::move(content)});
+}
+
+void FileDrop::on_event(const core::GroupEvent& ev) {
+  if (const auto* d = std::get_if<core::DataReceived>(&ev)) {
+    auto msg = decode_file_message(d->payload);
+    if (!msg) {
+      ++decode_failures_;
+    } else if (const auto* offer = std::get_if<FileOffer>(&*msg)) {
+      handle_offer(d->origin, *offer);
+    } else if (const auto* chunk = std::get_if<FileChunk>(&*msg)) {
+      handle_chunk(d->origin, *chunk);
+    }
+  }
+  if (passthrough_) passthrough_(ev);
+}
+
+}  // namespace enclaves::app

@@ -1,0 +1,106 @@
+#include "app/group_chat.h"
+
+#include "wire/codec.h"
+
+namespace enclaves::app {
+
+namespace {
+constexpr std::uint8_t kChatMagic = 0xC4;
+}
+
+Bytes encode(const ChatMessage& m) {
+  wire::Writer w;
+  w.u8(kChatMagic);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.str(m.author);
+  w.u64(m.author_seq);
+  w.str(m.content);
+  return std::move(w).take();
+}
+
+Result<ChatMessage> decode_chat_message(BytesView raw) {
+  wire::Reader r(raw);
+  auto magic = r.u8();
+  if (!magic) return magic.error();
+  if (*magic != kChatMagic)
+    return make_error(Errc::malformed, "not a chat payload");
+  auto kind = r.u8();
+  if (!kind) return kind.error();
+  if (*kind != static_cast<std::uint8_t>(ChatKind::text) &&
+      *kind != static_cast<std::uint8_t>(ChatKind::presence))
+    return make_error(Errc::malformed, "unknown chat kind");
+  auto author = r.str();
+  if (!author) return author.error();
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  auto content = r.str();
+  if (!content) return content.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return ChatMessage{static_cast<ChatKind>(*kind), *std::move(author),
+                     *std::move(content), *seq};
+}
+
+GroupChat::GroupChat(core::Member& member, Options options)
+    : member_(member), options_(options) {
+  member_.set_event_handler(
+      [this](const core::GroupEvent& ev) { on_event(ev); });
+}
+
+Status GroupChat::publish(ChatKind kind, const std::string& content) {
+  ChatMessage m{kind, member_.id(), content, own_seq_++};
+  auto status = member_.send_data(encode(m));
+  if (!status.ok()) return status;
+  if (kind == ChatKind::text) remember(std::move(m));
+  if (kind == ChatKind::presence) presence_[member_.id()] = content;
+  return Status::success();
+}
+
+Status GroupChat::post(const std::string& text) {
+  return publish(ChatKind::text, text);
+}
+
+Status GroupChat::set_presence(const std::string& status) {
+  return publish(ChatKind::presence, status);
+}
+
+void GroupChat::remember(ChatMessage m) {
+  history_.push_back(std::move(m));
+  while (history_.size() > options_.history_capacity) history_.pop_front();
+}
+
+void GroupChat::on_event(const core::GroupEvent& ev) {
+  if (const auto* d = std::get_if<core::DataReceived>(&ev)) {
+    auto m = decode_chat_message(d->payload);
+    if (!m) {
+      ++decode_failures_;
+    } else {
+      // The data-plane origin (honest-member authorship signal) wins over
+      // whatever the payload claims; disagreement marks a forgery attempt.
+      if (m->author != d->origin) {
+        ++decode_failures_;
+      } else {
+        if (m->kind == ChatKind::presence) {
+          presence_[m->author] = m->content;
+        } else {
+          remember(*m);
+        }
+        if (on_message) on_message(*m);
+      }
+    }
+  } else if (const auto* v = std::get_if<core::ViewChanged>(&ev)) {
+    // Drop presence entries for members no longer in the group.
+    std::set<std::string> current(v->members.begin(), v->members.end());
+    for (auto it = presence_.begin(); it != presence_.end();) {
+      if (!current.count(it->first) && it->first != member_.id()) {
+        it = presence_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else if (std::holds_alternative<core::SessionClosed>(ev)) {
+    presence_.clear();
+  }
+  if (passthrough_) passthrough_(ev);
+}
+
+}  // namespace enclaves::app

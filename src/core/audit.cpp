@@ -1,0 +1,52 @@
+#include "core/audit.h"
+
+namespace enclaves::core {
+
+const char* audit_kind_name(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::member_joined: return "member-joined";
+    case AuditKind::member_left: return "member-left";
+    case AuditKind::member_expelled: return "member-expelled";
+    case AuditKind::rekey: return "rekey";
+    case AuditKind::join_denied: return "join-denied";
+    case AuditKind::auth_reject: return "auth-reject";
+    case AuditKind::relay_reject: return "relay-reject";
+  }
+  return "?";
+}
+
+std::string AuditEvent::to_string() const {
+  std::string s = "#" + std::to_string(seq) + " " + audit_kind_name(kind);
+  if (!member.empty()) s += " " + member;
+  if (!detail.empty()) s += " (" + detail + ")";
+  return s;
+}
+
+void AuditLog::record(AuditKind kind, std::string member,
+                      std::string detail) {
+  AuditEvent e{next_seq_++, kind, std::move(member), std::move(detail)};
+  ++counts_[kind];
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<AuditEvent> AuditLog::recent(std::size_t n) const {
+  std::size_t take = std::min(n, ring_.size());
+  return std::vector<AuditEvent>(ring_.end() - static_cast<std::ptrdiff_t>(take),
+                                 ring_.end());
+}
+
+std::vector<AuditEvent> AuditLog::of_kind(AuditKind kind) const {
+  std::vector<AuditEvent> out;
+  for (const auto& e : ring_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t AuditLog::count(AuditKind kind) const {
+  auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace enclaves::core

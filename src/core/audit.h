@@ -1,0 +1,68 @@
+// Security audit log.
+//
+// The leader records every security-relevant event — admissions, departures,
+// expulsions, rekeys, policy denials, and rejected (possibly hostile)
+// inputs — into a bounded ring buffer that operators can query. Rejected
+// inputs are the observable fingerprint of the attacks the protocol
+// tolerates: a healthy deployment under attack shows rejects climbing while
+// the membership state stays correct.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace enclaves::core {
+
+enum class AuditKind : std::uint8_t {
+  member_joined,
+  member_left,
+  member_expelled,
+  rekey,
+  join_denied,    // access policy said no (silent denial)
+  auth_reject,    // unauthentic/stale/out-of-state protocol message
+  relay_reject,   // data-plane message refused by the relay
+};
+
+const char* audit_kind_name(AuditKind kind);
+
+struct AuditEvent {
+  std::uint64_t seq = 0;  // monotonically increasing
+  AuditKind kind = AuditKind::member_joined;
+  std::string member;  // subject (may be an unauthenticated claimed id)
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void record(AuditKind kind, std::string member, std::string detail = {});
+
+  /// Most recent events, oldest first (up to `n`).
+  std::vector<AuditEvent> recent(std::size_t n) const;
+
+  /// Events of one kind currently retained.
+  std::vector<AuditEvent> of_kind(AuditKind kind) const;
+
+  /// Lifetime count per kind (survives ring eviction).
+  std::uint64_t count(AuditKind kind) const;
+
+  /// Total events ever recorded.
+  std::uint64_t total() const { return next_seq_; }
+
+  std::size_t retained() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<AuditEvent> ring_;
+  std::map<AuditKind, std::uint64_t> counts_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace enclaves::core

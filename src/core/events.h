@@ -1,0 +1,50 @@
+// Observable events surfaced to the application by Member and Leader.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+#include "wire/admin_body.h"
+
+namespace enclaves::core {
+
+/// The member completed authentication and holds a session key.
+struct SessionEstablished {};
+
+/// The member's session ended (voluntary leave, expulsion, or local close).
+struct SessionClosed {
+  std::string reason;
+};
+
+/// A group-management message was accepted (authenticated, fresh, in order).
+struct AdminAccepted {
+  wire::AdminBody body;
+};
+
+/// The membership view changed (join/leave/list snapshot applied).
+struct ViewChanged {
+  std::vector<std::string> members;
+};
+
+/// A new group key took effect.
+struct EpochChanged {
+  std::uint64_t epoch;
+};
+
+/// Application data relayed through the leader was received and decrypted.
+struct DataReceived {
+  std::string origin;  // claimed author — forgeable by insiders (see docs)
+  Bytes payload;
+};
+
+using GroupEvent = std::variant<SessionEstablished, SessionClosed,
+                                AdminAccepted, ViewChanged, EpochChanged,
+                                DataReceived>;
+
+using EventHandler = std::function<void(const GroupEvent&)>;
+
+}  // namespace enclaves::core

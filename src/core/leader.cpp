@@ -1,0 +1,326 @@
+#include "core/leader.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+#include "wire/payloads.h"
+#include "wire/seal.h"
+
+namespace enclaves::core {
+
+Leader::Leader(LeaderConfig config, Rng& rng, const crypto::Aead& aead)
+    : config_(std::move(config)), rng_(rng), aead_(aead) {}
+
+Status Leader::register_member(const std::string& member_id,
+                               crypto::LongTermKey pa) {
+  if (member_id == config_.id)
+    return make_error(Errc::denied, "member id collides with leader id");
+  if (sessions_.count(member_id))
+    return make_error(Errc::already_exists, member_id);
+  auto session = std::make_unique<LeaderSession>(config_.id, member_id, pa,
+                                                 rng_, aead_);
+  session->on_session_closed = [this, member_id](const crypto::SessionKey& k) {
+    if (on_oops) on_oops(member_id, k);
+  };
+  sessions_.emplace(member_id, std::move(session));
+  return Status::success();
+}
+
+Status Leader::update_credential(const std::string& member_id,
+                                 crypto::LongTermKey pa) {
+  auto it = sessions_.find(member_id);
+  if (it == sessions_.end()) return make_error(Errc::unknown_peer, member_id);
+  it->second->set_long_term_key(pa);
+  return Status::success();
+}
+
+void Leader::send(const std::string& to, wire::Envelope e) {
+  if (send_) send_(to, std::move(e));
+}
+
+void Leader::handle(const wire::Envelope& e) {
+  if (e.label == wire::Label::GroupData) {
+    handle_group_data(e);
+    return;
+  }
+
+  // Admission policy gate: a denied member's join request is silently
+  // ignored (no forgeable denial message exists in the improved protocol).
+  if (e.label == wire::Label::AuthInitReq && policy_) {
+    auto decision = policy_->may_join(e.sender, members_.size());
+    if (!decision.allow) {
+      audit_.record(AuditKind::join_denied, e.sender, decision.reason);
+      return;
+    }
+  }
+
+  // Route by the (untrusted) apparent sender: it only selects which member's
+  // keys we try; authenticity is decided by decryption.
+  auto it = sessions_.find(e.sender);
+  if (it == sessions_.end()) {
+    ENCLAVES_LOG(debug) << config_.id << ": envelope from unknown sender "
+                        << e.sender;
+    ++relay_rejects_;
+    audit_.record(AuditKind::auth_reject, e.sender, "unknown sender");
+    return;
+  }
+  LeaderSession& session = *it->second;
+  const std::string member_id = it->first;
+
+  auto outcome = session.handle(e);
+  if (!outcome) {
+    // Rejected input: already tallied by the session; surface it to the
+    // audit trail with the label and reason.
+    audit_.record(AuditKind::auth_reject, member_id,
+                  std::string(wire::label_name(e.label)) + ": " +
+                      outcome.error().to_string());
+    return;
+  }
+
+  if (outcome->reply) send(member_id, *std::move(outcome->reply));
+  if (outcome->authenticated) handle_member_authenticated(member_id);
+  if (outcome->closed) {
+    audit_.record(AuditKind::member_left, member_id);
+    handle_member_closed(member_id);
+  }
+}
+
+void Leader::submit_admin_to(const std::string& member_id,
+                             wire::AdminBody body) {
+  auto it = sessions_.find(member_id);
+  assert(it != sessions_.end());
+  if (auto env = it->second->submit_admin(std::move(body)))
+    send(member_id, *std::move(env));
+}
+
+void Leader::send_group_key_to(const std::string& member_id) {
+  submit_admin_to(member_id, wire::NewGroupKey{kg_, epoch_});
+}
+
+void Leader::handle_member_authenticated(const std::string& member_id) {
+  members_.insert(member_id);
+  ENCLAVES_LOG(info) << config_.id << ": " << member_id << " joined";
+  audit_.record(AuditKind::member_joined, member_id);
+
+  // Initialize or renew the group key. Section 2.2: "The group leader
+  // generates a first group key Kg when the first member is accepted."
+  if (!kg_initialized_ || config_.rekey.on_join) {
+    rekey();  // distributes to everyone, including the new member
+  } else {
+    send_group_key_to(member_id);
+  }
+
+  // Membership snapshot to the joiner, join notice to everyone else.
+  wire::MemberList list{members()};
+  submit_admin_to(member_id, std::move(list));
+  for (const auto& m : members_) {
+    if (m != member_id)
+      submit_admin_to(m, wire::MemberJoined{member_id});
+  }
+  if (on_member_joined) on_member_joined(member_id);
+}
+
+void Leader::handle_member_closed(const std::string& member_id) {
+  members_.erase(member_id);
+  ENCLAVES_LOG(info) << config_.id << ": " << member_id << " left";
+  for (const auto& m : members_)
+    submit_admin_to(m, wire::MemberLeft{member_id});
+  if (config_.rekey.on_leave && !members_.empty()) rekey();
+  if (on_member_left) on_member_left(member_id);
+}
+
+void Leader::handle_group_data(const wire::Envelope& e) {
+  if (!kg_initialized_) {
+    ++relay_rejects_;
+    audit_.record(AuditKind::relay_reject, e.sender, "no group key yet");
+    return;
+  }
+  // Only current members may publish to the group.
+  if (!members_.count(e.sender)) {
+    ++relay_rejects_;
+    audit_.record(AuditKind::relay_reject, e.sender, "not a member");
+    return;
+  }
+  auto plain = wire::open_sealed(aead_, kg_.view(), e);
+  if (!plain) {
+    // Wrong epoch key or forged: either way the relay refuses it.
+    ++relay_rejects_;
+    audit_.record(AuditKind::relay_reject, e.sender,
+                  "does not open under current Kg");
+    return;
+  }
+  auto payload = wire::decode_group_data(*plain);
+  if (!payload || payload->epoch != epoch_ || payload->origin != e.sender) {
+    ++relay_rejects_;
+    audit_.record(AuditKind::relay_reject, e.sender,
+                  "stale epoch or origin mismatch");
+    return;
+  }
+
+  ++relayed_;
+  ++data_since_rekey_;
+  if (on_data) on_data(payload->origin, payload->payload);
+
+  // Relay the envelope unchanged to every other member; ciphertext and AAD
+  // are preserved so members verify exactly what the origin sealed.
+  for (const auto& m : members_) {
+    if (m != payload->origin) send(m, e);
+  }
+
+  if (config_.rekey.every_n_messages > 0 &&
+      data_since_rekey_ >= config_.rekey.every_n_messages) {
+    rekey();
+  }
+}
+
+void Leader::rekey() {
+  kg_ = crypto::GroupKey::random(rng_);
+  ++epoch_;
+  kg_initialized_ = true;
+  data_since_rekey_ = 0;
+  ENCLAVES_LOG(info) << config_.id << ": rekey to epoch " << epoch_;
+  audit_.record(AuditKind::rekey, {}, "epoch " + std::to_string(epoch_));
+  for (const auto& m : members_) send_group_key_to(m);
+}
+
+void Leader::broadcast_notice(const std::string& text) {
+  for (const auto& m : members_) submit_admin_to(m, wire::Notice{text});
+}
+
+Result<crypto::SessionKey> Leader::expel(const std::string& member_id,
+                                         const std::string& reason) {
+  auto it = sessions_.find(member_id);
+  if (it == sessions_.end() || !it->second->in_session())
+    return make_error(Errc::unknown_peer, member_id);
+  // Best-effort final notice over the authenticated channel, so the member
+  // learns it is out (its Ack will arrive after we close and is ignored).
+  // Only possible when the channel is idle; a mid-exchange expulsion just
+  // closes.
+  if (it->second->state() == LeaderSession::State::connected) {
+    if (auto env = it->second->submit_admin(wire::Expelled{reason}))
+      send(member_id, *std::move(env));
+  }
+  const bool was_member = members_.count(member_id) > 0;
+  auto old_key = it->second->force_close();
+  assert(old_key.has_value());
+  audit_.record(AuditKind::member_expelled, member_id, reason);
+  // Only authenticated members get a departure fan-out; tearing down a
+  // mid-handshake session must not announce a member who never joined.
+  if (was_member) handle_member_closed(member_id);
+  return *old_key;
+}
+
+void Leader::shutdown_group(const std::string& reason) {
+  // First pass: notify everyone whose admin channel is idle (before any
+  // session closes, so no membership fan-out gets queued in between).
+  for (const auto& m : members_) {
+    auto it = sessions_.find(m);
+    if (it != sessions_.end() &&
+        it->second->state() == LeaderSession::State::connected) {
+      if (auto env = it->second->submit_admin(wire::Expelled{reason}))
+        send(m, *std::move(env));
+    }
+  }
+  // Second pass: close every session.
+  for (const auto& [id, session] : sessions_) {
+    if (session->in_session()) {
+      audit_.record(AuditKind::member_expelled, id, reason);
+      (void)session->force_close();
+    }
+  }
+  members_.clear();
+}
+
+std::vector<std::string> Leader::members() const {
+  return std::vector<std::string>(members_.begin(), members_.end());
+}
+
+const LeaderSession* Leader::session(const std::string& member_id) const {
+  auto it = sessions_.find(member_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+LeaderSession* Leader::session(const std::string& member_id) {
+  auto it = sessions_.find(member_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Leader::tick() {
+  std::size_t sent = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (auto env = session->pending_retransmit()) {
+      send(id, *std::move(env));
+      ++sent;
+      ++stall_ticks_[id];
+    } else {
+      stall_ticks_.erase(id);
+    }
+  }
+  return sent;
+}
+
+std::vector<std::string> Leader::stalled_members(std::uint32_t ticks) const {
+  std::vector<std::string> out;
+  for (const auto& [id, count] : stall_ticks_) {
+    if (count >= ticks) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::string> Leader::expel_stalled(std::uint32_t ticks) {
+  std::vector<std::string> acted;
+  for (const std::string& id : stalled_members(ticks)) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || !it->second->in_session()) continue;
+    if (members_.count(id)) {
+      // A real member gone quiet: full expulsion (announce + rekey policy).
+      audit_.record(AuditKind::member_expelled, id, "stalled");
+      (void)it->second->force_close();
+      handle_member_closed(id);
+    } else {
+      // Ghost handshake (never authenticated): discard quietly. The key
+      // was never confirmed to anyone, so no Oops and no announcement.
+      audit_.record(AuditKind::auth_reject, id, "ghost handshake cleared");
+      (void)it->second->force_close();
+    }
+    stall_ticks_.erase(id);
+    acted.push_back(id);
+  }
+  return acted;
+}
+
+Leader::Stats Leader::stats() const {
+  Stats s;
+  s.members = members_.size();
+  s.epoch = epoch_;
+  s.relayed = relayed_;
+  s.rejected_inputs = rejected_inputs();
+  s.joins = audit_.count(AuditKind::member_joined);
+  s.leaves = audit_.count(AuditKind::member_left);
+  s.expulsions = audit_.count(AuditKind::member_expelled);
+  s.rekeys = audit_.count(AuditKind::rekey);
+  s.join_denials = audit_.count(AuditKind::join_denied);
+  return s;
+}
+
+std::string Leader::Stats::to_string() const {
+  std::string s = "members=" + std::to_string(members);
+  s += " epoch=" + std::to_string(epoch);
+  s += " relayed=" + std::to_string(relayed);
+  s += " rejected=" + std::to_string(rejected_inputs);
+  s += " joins=" + std::to_string(joins);
+  s += " leaves=" + std::to_string(leaves);
+  s += " expulsions=" + std::to_string(expulsions);
+  s += " rekeys=" + std::to_string(rekeys);
+  s += " denials=" + std::to_string(join_denials);
+  return s;
+}
+
+std::uint64_t Leader::rejected_inputs() const {
+  std::uint64_t total = relay_rejects_;
+  for (const auto& [id, session] : sessions_)
+    total += session->reject_stats().total();
+  return total;
+}
+
+}  // namespace enclaves::core

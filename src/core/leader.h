@@ -1,0 +1,191 @@
+// Leader — the group manager (Figure 1's central coordinator), composed of
+// one LeaderSession per registered member plus group-wide state: membership,
+// the group key Kg with its epoch, the rekey policy, and the data-plane
+// relay.
+//
+// Transport-agnostic: plug in any SendFn (SimNetwork, TcpNode, or a test
+// capture). All inbound traffic funnels through handle().
+//
+// Trust note: the envelope's sender field is only a ROUTING HINT used to
+// select which member's keys to try; every acceptance decision is made on
+// what decrypts correctly, exactly as in the paper's model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/leader_session.h"
+#include "core/policy.h"
+#include "core/rekey_policy.h"
+#include "crypto/aead.h"
+#include "crypto/keys.h"
+#include "util/result.h"
+#include "wire/envelope.h"
+
+namespace enclaves::core {
+
+using SendFn = std::function<void(const std::string& to, wire::Envelope)>;
+
+struct LeaderConfig {
+  std::string id = "L";
+  RekeyPolicy rekey = RekeyPolicy::strict();
+};
+
+class Leader {
+ public:
+  Leader(LeaderConfig config, Rng& rng,
+         const crypto::Aead& aead = crypto::default_aead());
+
+  void set_send(SendFn send) { send_ = std::move(send); }
+
+  /// Installs an admission policy (null = admit every registered member).
+  /// Denial is SILENT — the improved protocol has no denial message to
+  /// forge (see policy.h).
+  void set_access_policy(std::shared_ptr<const AccessPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+
+  /// Security event log (admissions, rejections, rekeys, expulsions).
+  const AuditLog& audit() const { return audit_; }
+
+  /// One-line-able operational snapshot (derived from live state and the
+  /// audit counters; cheap to take).
+  struct Stats {
+    std::size_t members = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t relayed = 0;
+    std::uint64_t rejected_inputs = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t expulsions = 0;
+    std::uint64_t rekeys = 0;
+    std::uint64_t join_denials = 0;
+
+    std::string to_string() const;
+  };
+  Stats stats() const;
+
+  const std::string& id() const { return config_.id; }
+
+  /// Registers a prospective member's long-term key Pa (the out-of-band
+  /// password registration the paper assumes). Errc::already_exists on
+  /// duplicates.
+  Status register_member(const std::string& member_id, crypto::LongTermKey pa);
+
+  /// Credential rotation (password change, key-pair replacement): the new
+  /// Pa applies from the member's next authentication; a session in
+  /// progress is untouched. Errc::unknown_peer if never registered.
+  Status update_credential(const std::string& member_id,
+                           crypto::LongTermKey pa);
+
+  /// Feeds one inbound envelope (any label). Unauthentic or malformed input
+  /// is rejected internally and tallied; this never throws on bad input.
+  void handle(const wire::Envelope& e);
+
+  /// Current members in session, sorted.
+  std::vector<std::string> members() const;
+  bool is_member(const std::string& id) const { return members_.count(id); }
+  std::size_t member_count() const { return members_.size(); }
+
+  std::uint64_t epoch() const { return epoch_; }
+  const crypto::GroupKey& group_key() const { return kg_; }
+
+  /// Generates and distributes a fresh group key to every current member.
+  void rekey();
+
+  /// Sends a Notice admin message to every current member.
+  void broadcast_notice(const std::string& text);
+
+  /// Heartbeat: a tiny admin message to every member. A quiet group gives
+  /// stall detection nothing to observe; probing periodically (followed by
+  /// tick()s) makes crashed or unresponsive members visible, since their
+  /// probe is never acknowledged.
+  void probe_liveness() { broadcast_notice("hb"); }
+
+  /// Administratively removes a member ("A variation of this protocol can
+  /// be used to expel some members", Section 2.2): sends the member an
+  /// authenticated Expelled notice when the admin channel is idle, closes
+  /// its session, informs the group, rekeys per policy. Returns the
+  /// discarded session key (for experiments modelling its compromise).
+  /// Errc::unknown_peer if absent.
+  Result<crypto::SessionKey> expel(const std::string& member_id,
+                                   const std::string& reason = {});
+
+  /// Tears the whole group down: every connected member gets an
+  /// authenticated Expelled notice, then all sessions close. No member-left
+  /// fan-out and no rekey — there is no group left to inform.
+  void shutdown_group(const std::string& reason = {});
+
+  /// Per-member session access (tests, benchmarks, diagnostics).
+  const LeaderSession* session(const std::string& member_id) const;
+  LeaderSession* session(const std::string& member_id);
+
+  /// Retransmits every stalled exchange (pending AuthKeyDist or AdminMsg)
+  /// byte-identically. Call on a timer when the transport can lose messages
+  /// (SimNetwork with a dropping tap, UDP-like links); harmless but
+  /// unnecessary on reliable transports. Returns envelopes re-sent.
+  std::size_t tick();
+
+  /// Members whose exchange has been pending for at least `ticks`
+  /// consecutive tick() calls — candidates for expulsion (crashed host,
+  /// severed link, or a peer deliberately withholding acks).
+  std::vector<std::string> stalled_members(std::uint32_t ticks) const;
+
+  /// Expels every member stalled for at least `ticks` ticks. Also clears
+  /// ghost handshakes (sessions stuck in WaitingForKeyAck, e.g. from a
+  /// replayed AuthInitReq) without announcing a departure — the ghost never
+  /// was a member. Returns the ids acted upon.
+  std::vector<std::string> expel_stalled(std::uint32_t ticks);
+
+  /// Aggregate rejected-input count across all sessions plus relay checks.
+  std::uint64_t rejected_inputs() const;
+
+  /// Total data-plane messages relayed.
+  std::uint64_t relayed_count() const { return relayed_; }
+
+  // Observability hooks (optional).
+  std::function<void(const std::string&)> on_member_joined;
+  std::function<void(const std::string&)> on_member_left;
+  std::function<void(const std::string&, const Bytes&)> on_data;
+  /// Fires with the discarded Ka when a member's session closes via
+  /// ReqClose — the paper's Oops(Ka) event.
+  std::function<void(const std::string&, const crypto::SessionKey&)> on_oops;
+
+ private:
+  void send(const std::string& to, wire::Envelope e);
+  void submit_admin_to(const std::string& member_id, wire::AdminBody body);
+  void handle_member_authenticated(const std::string& member_id);
+  void handle_member_closed(const std::string& member_id);
+  void handle_group_data(const wire::Envelope& e);
+  void send_group_key_to(const std::string& member_id);
+
+  LeaderConfig config_;
+  Rng& rng_;
+  const crypto::Aead& aead_;
+  SendFn send_;
+
+  std::map<std::string, std::unique_ptr<LeaderSession>> sessions_;
+  std::set<std::string> members_;  // in-session, authenticated
+
+  crypto::GroupKey kg_;
+  std::uint64_t epoch_ = 0;
+  bool kg_initialized_ = false;
+
+  std::uint64_t relayed_ = 0;
+  std::uint64_t data_since_rekey_ = 0;
+  std::uint64_t relay_rejects_ = 0;
+
+  std::shared_ptr<const AccessPolicy> policy_;
+  AuditLog audit_;
+  // Consecutive tick() calls each session has spent with an exchange
+  // pending; reset when the pending exchange clears.
+  std::map<std::string, std::uint32_t> stall_ticks_;
+};
+
+}  // namespace enclaves::core

@@ -1,0 +1,165 @@
+#include "core/member.h"
+
+#include "util/logging.h"
+#include "wire/payloads.h"
+#include "wire/seal.h"
+
+namespace enclaves::core {
+
+Member::Member(std::string id, std::string leader_id, crypto::LongTermKey pa,
+               Rng& rng, const crypto::Aead& aead)
+    : id_(std::move(id)),
+      leader_id_(std::move(leader_id)),
+      rng_(rng),
+      aead_(aead),
+      session_(id_, leader_id_, pa, rng, aead) {}
+
+void Member::emit(GroupEvent event) {
+  if (on_event_) on_event_(event);
+}
+
+Status Member::join() {
+  auto env = session_.start_join();
+  if (!env) return env.error();
+  if (send_) send_(leader_id_, *std::move(env));
+  return Status::success();
+}
+
+Status Member::leave() {
+  auto env = session_.request_close();
+  if (!env) return env.error();
+  close_request_ = *env;
+  close_retransmits_left_ = 3;
+  if (send_) send_(leader_id_, *std::move(env));
+  // Honest members drop all group secrets on leave. (A *dishonest* past
+  // member keeps them — that is the paper's threat model, exercised by the
+  // attack harness, not by this class.)
+  have_kg_ = false;
+  kg_ = crypto::GroupKey{};
+  epoch_ = 0;
+  view_.clear();
+  next_seq_ = 0;
+  last_seq_.clear();
+  emit(SessionClosed{"left"});
+  return Status::success();
+}
+
+Status Member::send_data(BytesView payload) {
+  if (!connected()) return make_error(Errc::unexpected, "not connected");
+  if (!have_kg_) return make_error(Errc::unexpected, "no group key yet");
+
+  wire::GroupDataPayload body{id_, epoch_, next_seq_++,
+                              Bytes(payload.begin(), payload.end())};
+  auto env = wire::make_sealed(aead_, kg_.view(), rng_, wire::Label::GroupData,
+                               id_, wire::kGroupRecipient, wire::encode(body));
+  if (send_) send_(leader_id_, std::move(env));
+  return Status::success();
+}
+
+void Member::handle(const wire::Envelope& e) {
+  if (e.label == wire::Label::GroupData) {
+    handle_group_data(e);
+    return;
+  }
+
+  auto outcome = session_.handle(e);
+  if (!outcome) return;  // rejected; tallied inside the session
+
+  if (outcome->reply && send_) send_(leader_id_, *outcome->reply);
+  if (outcome->became_connected) emit(SessionEstablished{});
+  if (outcome->admin) {
+    apply_admin(*outcome->admin);
+    emit(AdminAccepted{*outcome->admin});
+  }
+}
+
+void Member::apply_admin(const wire::AdminBody& body) {
+  std::visit(
+      [this](const auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, wire::NewGroupKey>) {
+          kg_ = b.key;
+          epoch_ = b.epoch;
+          have_kg_ = true;
+          // New epoch: sequence space restarts for everyone.
+          last_seq_.clear();
+          next_seq_ = 0;
+          emit(EpochChanged{epoch_});
+        } else if constexpr (std::is_same_v<T, wire::MemberJoined>) {
+          view_.insert(b.member);
+          emit(ViewChanged{view()});
+        } else if constexpr (std::is_same_v<T, wire::MemberLeft>) {
+          view_.erase(b.member);
+          emit(ViewChanged{view()});
+        } else if constexpr (std::is_same_v<T, wire::MemberList>) {
+          view_ = std::set<std::string>(b.members.begin(), b.members.end());
+          emit(ViewChanged{view()});
+        } else if constexpr (std::is_same_v<T, wire::Notice>) {
+          // surfaced via the AdminAccepted event only
+        } else if constexpr (std::is_same_v<T, wire::Expelled>) {
+          // Authenticated eviction: the leader has already discarded our
+          // session; drop all local group state.
+          session_.close_local();
+          have_kg_ = false;
+          kg_ = crypto::GroupKey{};
+          epoch_ = 0;
+          view_.clear();
+          next_seq_ = 0;
+          last_seq_.clear();
+          emit(SessionClosed{"expelled: " + b.reason});
+        }
+      },
+      body);
+}
+
+void Member::handle_group_data(const wire::Envelope& e) {
+  if (!connected() || !have_kg_) {
+    ++data_rejects_;
+    return;
+  }
+  auto plain = wire::open_sealed(aead_, kg_.view(), e);
+  if (!plain) {
+    // Sealed under some other epoch's key, or forged by a non-member.
+    ++data_rejects_;
+    return;
+  }
+  auto payload = wire::decode_group_data(*plain);
+  if (!payload || payload->epoch != epoch_ || payload->origin != e.sender) {
+    ++data_rejects_;
+    return;
+  }
+  // Per-origin strictly increasing sequence: rejects within-epoch replays.
+  auto [it, inserted] = last_seq_.try_emplace(payload->origin, payload->seq);
+  if (!inserted) {
+    if (payload->seq <= it->second) {
+      ++data_rejects_;
+      return;
+    }
+    it->second = payload->seq;
+  }
+  emit(DataReceived{payload->origin, payload->payload});
+}
+
+std::size_t Member::tick() {
+  std::size_t sent = 0;
+  if (auto env = session_.pending_retransmit(); env && send_) {
+    send_(leader_id_, *std::move(env));
+    ++sent;
+  }
+  if (close_request_ && close_retransmits_left_ > 0 && send_) {
+    // Only while we stayed out of the group: a rejoin supersedes the close.
+    if (!connected() &&
+        session_.state() == MemberSession::State::not_connected) {
+      send_(leader_id_, *close_request_);
+      ++sent;
+    }
+    if (--close_retransmits_left_ == 0) close_request_.reset();
+  }
+  return sent;
+}
+
+std::vector<std::string> Member::view() const {
+  return std::vector<std::string>(view_.begin(), view_.end());
+}
+
+}  // namespace enclaves::core

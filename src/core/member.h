@@ -1,0 +1,109 @@
+// Member — the client-side API: a MemberSession (Figure 2 FSM) plus the
+// group-level state a participant maintains: the current group key Kg and
+// epoch, the membership view, and per-origin sequence tracking on the data
+// plane.
+//
+// Security scope (matching the paper, Section 3.1): the *group-management*
+// channel (everything arriving as AdminMsg) is authenticated, fresh, ordered
+// and duplicate-free as long as this member and the leader are honest. The
+// *data plane* runs under the shared Kg: any current member can forge data
+// traffic including its claimed origin — intrusion tolerance of the data
+// plane is explicitly out of the paper's (and this library's) scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "core/member_session.h"
+#include "crypto/aead.h"
+#include "crypto/keys.h"
+#include "util/result.h"
+#include "wire/envelope.h"
+
+namespace enclaves::core {
+
+using SendFn = std::function<void(const std::string& to, wire::Envelope)>;
+
+class Member {
+ public:
+  Member(std::string id, std::string leader_id, crypto::LongTermKey pa,
+         Rng& rng, const crypto::Aead& aead = crypto::default_aead());
+
+  void set_send(SendFn send) { send_ = std::move(send); }
+  void set_event_handler(EventHandler handler) {
+    on_event_ = std::move(handler);
+  }
+
+  const std::string& id() const { return id_; }
+
+  /// Initiates the join handshake. Errc::unexpected if already joining/in.
+  Status join();
+
+  /// Leaves the session (sends ReqClose). Errc::unexpected if not connected.
+  Status leave();
+
+  /// Publishes application data to the group via the leader. Requires a
+  /// current group key (Errc::unexpected before the first NewGroupKey).
+  Status send_data(BytesView payload);
+
+  /// Feeds one inbound envelope. Bad input is rejected and tallied.
+  void handle(const wire::Envelope& e);
+
+  /// Retransmits a stalled join request (and a recently sent ReqClose, a
+  /// bounded number of times) byte-identically. Call on a timer over lossy
+  /// transports; no-op when nothing is pending. Returns envelopes re-sent.
+  std::size_t tick();
+
+  bool connected() const {
+    return session_.state() == MemberSession::State::connected;
+  }
+  bool has_group_key() const { return have_kg_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// This member's view of the group (including itself once listed).
+  std::vector<std::string> view() const;
+
+  /// Admin bodies accepted in order (the paper's rcv_A list).
+  const std::vector<wire::AdminBody>& rcv_log() const {
+    return session_.rcv_log();
+  }
+
+  const MemberSession& session() const { return session_; }
+
+  /// Data-plane replays/forgeries rejected.
+  std::uint64_t data_rejects() const { return data_rejects_; }
+
+ private:
+  void emit(GroupEvent event);
+  void apply_admin(const wire::AdminBody& body);
+  void handle_group_data(const wire::Envelope& e);
+
+  std::string id_;
+  std::string leader_id_;
+  Rng& rng_;
+  const crypto::Aead& aead_;
+  MemberSession session_;
+  SendFn send_;
+  EventHandler on_event_;
+
+  crypto::GroupKey kg_;
+  std::uint64_t epoch_ = 0;
+  bool have_kg_ = false;
+  std::set<std::string> view_;
+  std::uint64_t next_seq_ = 0;                  // our outbound counter
+  std::map<std::string, std::uint64_t> last_seq_;  // per-origin inbound floor
+  std::uint64_t data_rejects_ = 0;
+
+  // Best-effort ReqClose retransmission: the member cannot observe whether
+  // the leader processed its close (there is no close ack it could trust
+  // more than the protocol gives), so it re-sends a bounded number of
+  // times. Duplicates at the leader fail cleanly (session already closed).
+  std::optional<wire::Envelope> close_request_;
+  int close_retransmits_left_ = 0;
+};
+
+}  // namespace enclaves::core

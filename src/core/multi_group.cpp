@@ -1,0 +1,73 @@
+#include "core/multi_group.h"
+
+namespace enclaves::core {
+
+MultiGroupHost::MultiGroupHost(std::string host_id, Rng& rng,
+                               const crypto::Aead& aead)
+    : host_id_(std::move(host_id)), rng_(rng), aead_(aead) {}
+
+Result<Leader*> MultiGroupHost::create_group(const std::string& group,
+                                             RekeyPolicy policy) {
+  if (groups_.count(group)) return make_error(Errc::already_exists, group);
+  auto leader = std::make_unique<Leader>(
+      LeaderConfig{leader_id_for(group), policy}, rng_, aead_);
+  if (send_) leader->set_send(send_);
+  auto* raw = leader.get();
+  groups_.emplace(group, std::move(leader));
+  return raw;
+}
+
+Leader* MultiGroupHost::group(const std::string& name) {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+const Leader* MultiGroupHost::group(const std::string& name) const {
+  auto it = groups_.find(name);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MultiGroupHost::groups() const {
+  std::vector<std::string> out;
+  out.reserve(groups_.size());
+  for (const auto& [name, leader] : groups_) out.push_back(name);
+  return out;
+}
+
+Status MultiGroupHost::drop_group(const std::string& name,
+                                  const std::string& reason) {
+  auto it = groups_.find(name);
+  if (it == groups_.end()) return make_error(Errc::unknown_peer, name);
+  it->second->shutdown_group(reason);
+  groups_.erase(it);
+  return Status::success();
+}
+
+void MultiGroupHost::set_send(SendFn send) {
+  send_ = std::move(send);
+  for (auto& [name, leader] : groups_) leader->set_send(send_);
+}
+
+Status MultiGroupHost::handle(const std::string& group,
+                              const wire::Envelope& e) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return make_error(Errc::unknown_peer, group);
+  it->second->handle(e);
+  return Status::success();
+}
+
+Status MultiGroupHost::handle_addressed_to(const std::string& leader_id,
+                                           const wire::Envelope& e) {
+  const std::string prefix = host_id_ + "/";
+  if (leader_id.rfind(prefix, 0) != 0)
+    return make_error(Errc::unknown_peer, leader_id);
+  return handle(leader_id.substr(prefix.size()), e);
+}
+
+std::size_t MultiGroupHost::tick() {
+  std::size_t sent = 0;
+  for (auto& [name, leader] : groups_) sent += leader->tick();
+  return sent;
+}
+
+}  // namespace enclaves::core

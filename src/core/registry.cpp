@@ -1,0 +1,130 @@
+#include "core/registry.h"
+
+#include <fstream>
+
+#include "core/leader.h"
+#include "crypto/hmac.h"
+#include "wire/codec.h"
+
+namespace enclaves::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x454E4352;  // "ENCR"
+constexpr std::uint16_t kVersion = 1;
+constexpr std::uint32_t kMaxEntries = 1 << 20;
+}  // namespace
+
+Status Registry::add(Credential credential) {
+  auto [it, inserted] =
+      entries_.emplace(credential.member_id, std::move(credential));
+  if (!inserted) return make_error(Errc::already_exists, it->first);
+  return Status::success();
+}
+
+bool Registry::contains(const std::string& member_id) const {
+  return entries_.count(member_id) > 0;
+}
+
+const Credential* Registry::find(const std::string& member_id) const {
+  auto it = entries_.find(member_id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status Registry::remove(const std::string& member_id) {
+  if (entries_.erase(member_id) == 0)
+    return make_error(Errc::unknown_peer, member_id);
+  return Status::success();
+}
+
+std::vector<std::string> Registry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, cred] : entries_) out.push_back(id);
+  return out;
+}
+
+std::size_t Registry::install(Leader& leader) const {
+  std::size_t installed = 0;
+  for (const auto& [id, cred] : entries_) {
+    if (leader.register_member(id, cred.pa).ok()) ++installed;
+  }
+  return installed;
+}
+
+Bytes Registry::serialize(BytesView storage_key) const {
+  wire::Writer w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [id, cred] : entries_) {
+    w.str(id);
+    w.raw(cred.pa.view());
+    w.str(cred.note);
+  }
+  Bytes out = std::move(w).take();
+  auto tag = crypto::HmacSha256::mac(storage_key, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Result<Registry> Registry::deserialize(BytesView data, BytesView storage_key) {
+  if (data.size() < crypto::HmacSha256::kTagSize)
+    return make_error(Errc::truncated, "registry shorter than its MAC");
+  BytesView body = data.subspan(0, data.size() - crypto::HmacSha256::kTagSize);
+  BytesView tag = data.subspan(data.size() - crypto::HmacSha256::kTagSize);
+  if (!crypto::hmac_verify(storage_key, body, tag))
+    return make_error(Errc::auth_failed, "registry MAC mismatch");
+
+  wire::Reader r(body);
+  auto magic = r.u32();
+  if (!magic || *magic != kMagic)
+    return make_error(Errc::malformed, "bad registry magic");
+  auto version = r.u16();
+  if (!version || *version != kVersion)
+    return make_error(Errc::malformed, "unsupported registry version");
+  auto count = r.u32();
+  if (!count) return count.error();
+  if (*count > kMaxEntries)
+    return make_error(Errc::oversized, "registry entry count");
+
+  Registry reg;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto id = r.str();
+    if (!id) return id.error();
+    auto pa = r.raw(crypto::kKeyBytes);
+    if (!pa) return pa.error();
+    auto note = r.str();
+    if (!note) return note.error();
+    if (auto s = reg.add(Credential{*std::move(id),
+                                    crypto::LongTermKey::from_bytes(*pa),
+                                    *std::move(note)});
+        !s) {
+      return s.error();  // duplicate inside the file: refuse it
+    }
+  }
+  if (auto end = r.expect_end(); !end) return end.error();
+  return reg;
+}
+
+Status Registry::save_file(const std::string& path,
+                           BytesView storage_key) const {
+  Bytes data = serialize(storage_key);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return make_error(Errc::io_error, "cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return make_error(Errc::io_error, "write failed: " + path);
+  return Status::success();
+}
+
+Result<Registry> Registry::load_file(const std::string& path,
+                                     BytesView storage_key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return make_error(Errc::io_error, "cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (in.bad()) return make_error(Errc::io_error, "read failed: " + path);
+  return deserialize(data, storage_key);
+}
+
+}  // namespace enclaves::core

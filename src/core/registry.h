@@ -1,0 +1,74 @@
+// Credential registry — the leader's durable store of member credentials.
+//
+// The paper assumes "each potential group member has a long-term password
+// that must be known in advance to the group leader"; operationally that
+// set must survive leader restarts. The registry stores derived long-term
+// keys (password- or X25519-derived — the protocol doesn't care), serializes
+// to a versioned binary format protected by an HMAC under a storage key, and
+// can install itself into a Leader in one call.
+//
+// The storage key guards INTEGRITY (a tampered registry is detected and
+// refused). Confidentiality of the file is the deployment's problem — it
+// holds long-term keys and must be protected like any other key store.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace enclaves::core {
+
+class Leader;
+
+struct Credential {
+  std::string member_id;
+  crypto::LongTermKey pa;
+  std::string note;  // provenance, e.g. "password", "x25519", issue date
+
+  friend bool operator==(const Credential&, const Credential&) = default;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+
+  /// Errc::already_exists on duplicate member ids.
+  Status add(Credential credential);
+
+  bool contains(const std::string& member_id) const;
+  const Credential* find(const std::string& member_id) const;
+  /// Errc::unknown_peer when absent.
+  Status remove(const std::string& member_id);
+
+  std::size_t size() const { return entries_.size(); }
+  std::vector<std::string> ids() const;
+
+  /// Registers every credential with `leader`. Members already registered
+  /// there are skipped (idempotent restore).
+  std::size_t install(Leader& leader) const;
+
+  // --- persistence -------------------------------------------------------
+
+  /// Versioned binary serialization, HMAC-SHA256-sealed under `storage_key`.
+  Bytes serialize(BytesView storage_key) const;
+
+  /// Rejects wrong magic/version, truncation, and any tampering
+  /// (Errc::auth_failed on MAC mismatch).
+  static Result<Registry> deserialize(BytesView data, BytesView storage_key);
+
+  /// Whole-file convenience wrappers (Errc::io_error on filesystem trouble).
+  Status save_file(const std::string& path, BytesView storage_key) const;
+  static Result<Registry> load_file(const std::string& path,
+                                    BytesView storage_key);
+
+  friend bool operator==(const Registry&, const Registry&) = default;
+
+ private:
+  std::map<std::string, Credential> entries_;
+};
+
+}  // namespace enclaves::core

@@ -1,0 +1,19 @@
+// Group-key renewal policy (Section 2.2: "new keys can be generated when new
+// members join, when members leave, or on a periodic basis").
+#pragma once
+
+#include <cstdint>
+
+namespace enclaves::core {
+
+struct RekeyPolicy {
+  bool on_join = true;    // fresh Kg whenever a member is admitted
+  bool on_leave = true;   // fresh Kg whenever a member leaves or is expelled
+  /// Rekey after this many relayed data messages (0 = disabled).
+  std::uint64_t every_n_messages = 0;
+
+  static RekeyPolicy strict() { return {true, true, 0}; }
+  static RekeyPolicy manual() { return {false, false, 0}; }
+};
+
+}  // namespace enclaves::core

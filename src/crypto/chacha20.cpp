@@ -1,0 +1,90 @@
+#include "crypto/chacha20.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace enclaves::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+void chacha_block(const std::array<std::uint32_t, 16>& in,
+                  std::array<std::uint8_t, 64>& out) {
+  std::array<std::uint32_t, 16> x = in;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_le32(out.data() + 4 * i, x[i] + in[i]);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(BytesView key, BytesView nonce,
+                   std::uint32_t initial_counter) {
+  assert(key.size() == kKeySize);
+  assert(nonce.size() == kNonceSize);
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::apply(std::uint8_t* data, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    if (keystream_pos_ == 64) {
+      chacha_block(state_, keystream_);
+      ++state_[12];
+      keystream_pos_ = 0;
+    }
+    data[i] ^= keystream_[keystream_pos_++];
+  }
+}
+
+Bytes ChaCha20::transform(BytesView data) {
+  Bytes out(data.begin(), data.end());
+  apply(out.data(), out.size());
+  return out;
+}
+
+std::array<std::uint8_t, 64> ChaCha20::block(BytesView key, BytesView nonce,
+                                             std::uint32_t counter) {
+  ChaCha20 c(key, nonce, counter);
+  std::array<std::uint8_t, 64> out;
+  chacha_block(c.state_, out);
+  return out;
+}
+
+}  // namespace enclaves::crypto

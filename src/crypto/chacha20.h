@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4), implemented from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace enclaves::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  /// Precondition: key.size()==32, nonce.size()==12.
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t initial_counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void apply(std::uint8_t* data, std::size_t len);
+
+  /// Convenience: returns the transformed copy.
+  Bytes transform(BytesView data);
+
+  /// Emits one 64-byte keystream block for the given counter (used by
+  /// Poly1305 key generation, RFC 8439 §2.6).
+  static std::array<std::uint8_t, 64> block(BytesView key, BytesView nonce,
+                                            std::uint32_t counter);
+
+ private:
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> keystream_;
+  std::size_t keystream_pos_ = 64;  // exhausted
+};
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,76 @@
+// ChaCha20-Poly1305 AEAD construction (RFC 8439 §2.8).
+#include <cassert>
+#include <cstring>
+
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/ct.h"
+#include "crypto/poly1305.h"
+
+namespace enclaves::crypto {
+
+namespace {
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+Poly1305::Tag compute_tag(BytesView key, BytesView nonce, BytesView aad,
+                          BytesView ciphertext) {
+  // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+  auto block0 = ChaCha20::block(key, nonce, 0);
+  Poly1305 mac(BytesView{block0.data(), 32});
+
+  static constexpr std::uint8_t kZeros[15] = {};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) mac.update({kZeros, 16 - aad.size() % 16});
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0)
+    mac.update({kZeros, 16 - ciphertext.size() % 16});
+
+  std::uint8_t lengths[16];
+  store_le64(lengths, aad.size());
+  store_le64(lengths + 8, ciphertext.size());
+  mac.update({lengths, 16});
+  return mac.finish();
+}
+
+class ChaCha20Poly1305 final : public Aead {
+ public:
+  const char* name() const override { return "chacha20poly1305"; }
+
+  Bytes seal(BytesView key, BytesView nonce, BytesView aad,
+             BytesView plaintext) const override {
+    assert(key.size() == kKeySize && nonce.size() == kNonceSize);
+    ChaCha20 cipher(key, nonce, 1);
+    Bytes out = cipher.transform(plaintext);
+    auto tag = compute_tag(key, nonce, aad, out);
+    out.insert(out.end(), tag.begin(), tag.end());
+    return out;
+  }
+
+  Result<Bytes> open(BytesView key, BytesView nonce, BytesView aad,
+                     BytesView ct) const override {
+    assert(key.size() == kKeySize && nonce.size() == kNonceSize);
+    if (ct.size() < kTagSize)
+      return make_error(Errc::truncated, "aead ciphertext shorter than tag");
+    BytesView body = ct.subspan(0, ct.size() - kTagSize);
+    BytesView tag = ct.subspan(ct.size() - kTagSize);
+    auto expect = compute_tag(key, nonce, aad, body);
+    if (!ct_equal({expect.data(), expect.size()}, tag))
+      return make_error(Errc::auth_failed, "poly1305 tag mismatch");
+    ChaCha20 cipher(key, nonce, 1);
+    return cipher.transform(body);
+  }
+};
+
+}  // namespace
+
+const Aead& chacha20poly1305() {
+  static ChaCha20Poly1305 instance;
+  return instance;
+}
+
+const Aead& default_aead() { return chacha20poly1305(); }
+
+}  // namespace enclaves::crypto

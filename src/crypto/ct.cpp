@@ -1,0 +1,19 @@
+#include "crypto/ct.h"
+
+namespace enclaves::crypto {
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  volatile std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc = acc | (a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void secure_wipe(std::uint8_t* data, std::size_t len) {
+  volatile std::uint8_t* p = data;
+  for (std::size_t i = 0; i < len; ++i) p[i] = 0;
+}
+
+void secure_wipe(Bytes& b) { secure_wipe(b.data(), b.size()); }
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,16 @@
+// Constant-time helpers for secret-dependent comparisons.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace enclaves::crypto {
+
+/// Constant-time equality of equal-length buffers; returns false on length
+/// mismatch (length is not secret).
+bool ct_equal(BytesView a, BytesView b);
+
+/// Best-effort secure wipe (not optimized away).
+void secure_wipe(std::uint8_t* data, std::size_t len);
+void secure_wipe(Bytes& b);
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,38 @@
+#include "crypto/hkdf.h"
+
+#include <cassert>
+
+#include "crypto/hmac.h"
+
+namespace enclaves::crypto {
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  auto tag = HmacSha256::mac(salt, ikm);
+  return Bytes(tag.begin(), tag.end());
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length) {
+  assert(length <= 255 * HmacSha256::kTagSize);
+  Bytes okm;
+  okm.reserve(length);
+  Bytes block;  // T(i-1)
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    HmacSha256 h(prk);
+    h.update(block);
+    h.update(info);
+    h.update({&counter, 1});
+    auto t = h.finish();
+    block.assign(t.begin(), t.end());
+    std::size_t take = std::min(block.size(), length - okm.size());
+    okm.insert(okm.end(), block.begin(), block.begin() + take);
+    ++counter;
+  }
+  return okm;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+}  // namespace enclaves::crypto

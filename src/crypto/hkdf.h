@@ -1,0 +1,21 @@
+// HKDF-SHA256 (RFC 5869): extract-and-expand key derivation.
+//
+// Used to derive distinct subkeys (e.g., the group data key and the admin
+// channel key) from a single distributed secret, and to derive AEAD nonces
+// deterministically where a counter discipline is used.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace enclaves::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes (length <= 255*32).
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t length);
+
+/// Combined extract+expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,34 @@
+// HMAC-SHA256 (RFC 2104), built on the local SHA-256.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace enclaves::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr std::size_t kTagSize = Sha256::kDigestSize;
+  using Tag = Sha256::Digest;
+
+  explicit HmacSha256(BytesView key);
+
+  void update(BytesView data);
+  Tag finish();
+
+  /// Re-keys with the same key for a fresh computation.
+  void reset();
+
+  /// One-shot convenience.
+  static Tag mac(BytesView key, BytesView data);
+
+ private:
+  std::array<std::uint8_t, Sha256::kBlockSize> ipad_;
+  std::array<std::uint8_t, Sha256::kBlockSize> opad_;
+  Sha256 inner_;
+};
+
+/// Constant-time tag verification.
+bool hmac_verify(BytesView key, BytesView data, BytesView expected_tag);
+
+}  // namespace enclaves::crypto

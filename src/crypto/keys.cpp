@@ -1,0 +1,31 @@
+#include "crypto/keys.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace enclaves::crypto {
+
+namespace detail {
+
+template <typename Tag>
+KeyBase<Tag> KeyBase<Tag>::from_bytes(BytesView b) {
+  assert(b.size() == kKeyBytes);
+  KeyBase k;
+  std::memcpy(k.data_.data(), b.data(), kKeyBytes);
+  return k;
+}
+
+template class KeyBase<LongTermTag>;
+template class KeyBase<SessionTag>;
+template class KeyBase<GroupTag>;
+
+}  // namespace detail
+
+ProtocolNonce ProtocolNonce::from_bytes(BytesView b) {
+  assert(b.size() == kNonceBytes);
+  ProtocolNonce n;
+  std::memcpy(n.data_.data(), b.data(), kNonceBytes);
+  return n;
+}
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,78 @@
+// Strongly typed key and nonce material.
+//
+// Paper mapping:
+//   Pa  -> LongTermKey (derived from the member's password; Section 2.2)
+//   Ka  -> SessionKey  (fresh per join; Section 3.2)
+//   Kg  -> GroupKey    (distributed via AdminMsg; carries an epoch)
+//   N_i -> ProtocolNonce (128-bit random values chained through the
+//          AdminMsg/Ack exchange)
+// Distinct wrapper types prevent accidentally using a group key where a
+// session key is required; all wrap 32-byte AEAD keys.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace enclaves::crypto {
+
+constexpr std::size_t kKeyBytes = 32;
+constexpr std::size_t kNonceBytes = 16;
+
+namespace detail {
+
+template <typename Tag>
+class KeyBase {
+ public:
+  KeyBase() : data_{} {}
+  static KeyBase random(Rng& rng) {
+    KeyBase k;
+    rng.fill(k.data_);
+    return k;
+  }
+  static KeyBase from_bytes(BytesView b);
+
+  BytesView view() const { return {data_.data(), data_.size()}; }
+  Bytes to_bytes() const { return Bytes(data_.begin(), data_.end()); }
+
+  friend auto operator<=>(const KeyBase&, const KeyBase&) = default;
+
+ private:
+  std::array<std::uint8_t, kKeyBytes> data_;
+};
+
+}  // namespace detail
+
+struct LongTermTag {};
+struct SessionTag {};
+struct GroupTag {};
+
+using LongTermKey = detail::KeyBase<LongTermTag>;
+using SessionKey = detail::KeyBase<SessionTag>;
+using GroupKey = detail::KeyBase<GroupTag>;
+
+/// 128-bit protocol nonce (the N_i of Section 3.2). Random, never reused by
+/// honest agents within the lifetime of the system.
+class ProtocolNonce {
+ public:
+  ProtocolNonce() : data_{} {}
+  static ProtocolNonce random(Rng& rng) {
+    ProtocolNonce n;
+    rng.fill(n.data_);
+    return n;
+  }
+  static ProtocolNonce from_bytes(BytesView b);
+
+  BytesView view() const { return {data_.data(), data_.size()}; }
+  Bytes to_bytes() const { return Bytes(data_.begin(), data_.end()); }
+
+  friend auto operator<=>(const ProtocolNonce&, const ProtocolNonce&) = default;
+
+ private:
+  std::array<std::uint8_t, kNonceBytes> data_;
+};
+
+}  // namespace enclaves::crypto

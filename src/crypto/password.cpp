@@ -1,0 +1,21 @@
+#include "crypto/password.h"
+
+#include "crypto/pbkdf2.h"
+#include "util/bytes.h"
+
+namespace enclaves::crypto {
+
+LongTermKey derive_long_term_key(std::string_view member_id,
+                                 std::string_view password,
+                                 const PasswordParams& params) {
+  // Salt = domain || 0x00 || member_id. The 0x00 separator keeps
+  // ("ab","c") and ("a","bc") from colliding.
+  Bytes salt = to_bytes(params.domain);
+  salt.push_back(0);
+  append(salt, to_bytes(member_id));
+  Bytes key = pbkdf2_hmac_sha256(to_bytes(password), salt, params.iterations,
+                                 kKeyBytes);
+  return LongTermKey::from_bytes(key);
+}
+
+}  // namespace enclaves::crypto

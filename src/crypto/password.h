@@ -1,0 +1,26 @@
+// Long-term key derivation: password -> Pa.
+//
+// Section 2.2: "This encryption uses a key Pa derived from A's password, so
+// Pa is known by both A and L." We realize the derivation as
+// PBKDF2-HMAC-SHA256 with a per-deployment salt bound to the member identity,
+// so two members with the same password still get distinct Pa.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/keys.h"
+
+namespace enclaves::crypto {
+
+struct PasswordParams {
+  std::uint32_t iterations = 4096;
+  std::string_view domain = "enclaves-v1";  // deployment separation label
+};
+
+/// Derives Pa for `member_id` from `password`.
+LongTermKey derive_long_term_key(std::string_view member_id,
+                                 std::string_view password,
+                                 const PasswordParams& params = {});
+
+}  // namespace enclaves::crypto

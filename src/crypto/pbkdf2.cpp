@@ -1,0 +1,38 @@
+#include "crypto/pbkdf2.h"
+
+#include <cassert>
+
+#include "crypto/hmac.h"
+
+namespace enclaves::crypto {
+
+Bytes pbkdf2_hmac_sha256(BytesView password, BytesView salt,
+                         std::uint32_t iterations, std::size_t length) {
+  assert(iterations >= 1);
+  Bytes out;
+  out.reserve(length);
+  std::uint32_t block_index = 1;
+  while (out.size() < length) {
+    std::uint8_t idx_be[4] = {
+        static_cast<std::uint8_t>(block_index >> 24),
+        static_cast<std::uint8_t>(block_index >> 16),
+        static_cast<std::uint8_t>(block_index >> 8),
+        static_cast<std::uint8_t>(block_index)};
+
+    HmacSha256 h(password);
+    h.update(salt);
+    h.update({idx_be, 4});
+    auto u = h.finish();
+    auto acc = u;
+    for (std::uint32_t i = 1; i < iterations; ++i) {
+      u = HmacSha256::mac(password, u);
+      for (std::size_t j = 0; j < acc.size(); ++j) acc[j] ^= u[j];
+    }
+    std::size_t take = std::min(acc.size(), length - out.size());
+    out.insert(out.end(), acc.begin(), acc.begin() + take);
+    ++block_index;
+  }
+  return out;
+}
+
+}  // namespace enclaves::crypto

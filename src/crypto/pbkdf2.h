@@ -1,0 +1,15 @@
+// PBKDF2-HMAC-SHA256 (RFC 8018), used to derive a user's long-term key Pa
+// from the password shared out-of-band with the group leader (Section 2.2 of
+// the paper: "a key Pa derived from A's password").
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace enclaves::crypto {
+
+Bytes pbkdf2_hmac_sha256(BytesView password, BytesView salt,
+                         std::uint32_t iterations, std::size_t length);
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,117 @@
+#include "crypto/x25519.h"
+
+#include <openssl/evp.h>
+
+#include <memory>
+
+#include "crypto/hkdf.h"
+
+namespace enclaves::crypto {
+
+namespace {
+
+struct PkeyDeleter {
+  void operator()(EVP_PKEY* p) const { EVP_PKEY_free(p); }
+};
+struct CtxDeleter {
+  void operator()(EVP_PKEY_CTX* c) const { EVP_PKEY_CTX_free(c); }
+};
+using PkeyPtr = std::unique_ptr<EVP_PKEY, PkeyDeleter>;
+using CtxPtr = std::unique_ptr<EVP_PKEY_CTX, CtxDeleter>;
+
+Result<Bytes> raw_public(EVP_PKEY* key) {
+  std::size_t len = kX25519KeyBytes;
+  Bytes out(len);
+  if (EVP_PKEY_get_raw_public_key(key, out.data(), &len) != 1 ||
+      len != kX25519KeyBytes)
+    return make_error(Errc::bad_key, "raw public key extraction failed");
+  return out;
+}
+
+}  // namespace
+
+Result<X25519KeyPair> X25519KeyPair::generate() {
+  CtxPtr ctx(EVP_PKEY_CTX_new_id(EVP_PKEY_X25519, nullptr));
+  if (!ctx) return make_error(Errc::internal, "EVP_PKEY_CTX_new_id");
+  if (EVP_PKEY_keygen_init(ctx.get()) != 1)
+    return make_error(Errc::internal, "keygen init");
+  EVP_PKEY* raw = nullptr;
+  if (EVP_PKEY_keygen(ctx.get(), &raw) != 1)
+    return make_error(Errc::internal, "keygen");
+  PkeyPtr key(raw);
+
+  std::size_t priv_len = kX25519KeyBytes;
+  Bytes priv(priv_len);
+  if (EVP_PKEY_get_raw_private_key(key.get(), priv.data(), &priv_len) != 1 ||
+      priv_len != kX25519KeyBytes)
+    return make_error(Errc::bad_key, "raw private key extraction failed");
+  auto pub = raw_public(key.get());
+  if (!pub) return pub.error();
+  return X25519KeyPair{*std::move(pub), std::move(priv)};
+}
+
+Result<X25519KeyPair> X25519KeyPair::from_private(BytesView private_key) {
+  if (private_key.size() != kX25519KeyBytes)
+    return make_error(Errc::bad_key, "private key must be 32 bytes");
+  PkeyPtr key(EVP_PKEY_new_raw_private_key(EVP_PKEY_X25519, nullptr,
+                                           private_key.data(),
+                                           private_key.size()));
+  if (!key) return make_error(Errc::bad_key, "invalid X25519 private key");
+  auto pub = raw_public(key.get());
+  if (!pub) return pub.error();
+  return X25519KeyPair{*std::move(pub),
+                       Bytes(private_key.begin(), private_key.end())};
+}
+
+Result<Bytes> x25519_shared_secret(BytesView private_key,
+                                   BytesView peer_public) {
+  if (private_key.size() != kX25519KeyBytes ||
+      peer_public.size() != kX25519KeyBytes)
+    return make_error(Errc::bad_key, "X25519 keys must be 32 bytes");
+
+  PkeyPtr mine(EVP_PKEY_new_raw_private_key(EVP_PKEY_X25519, nullptr,
+                                            private_key.data(),
+                                            private_key.size()));
+  PkeyPtr peer(EVP_PKEY_new_raw_public_key(EVP_PKEY_X25519, nullptr,
+                                           peer_public.data(),
+                                           peer_public.size()));
+  if (!mine || !peer) return make_error(Errc::bad_key, "invalid key");
+
+  CtxPtr ctx(EVP_PKEY_CTX_new(mine.get(), nullptr));
+  if (!ctx || EVP_PKEY_derive_init(ctx.get()) != 1 ||
+      EVP_PKEY_derive_set_peer(ctx.get(), peer.get()) != 1)
+    return make_error(Errc::bad_key, "derive init failed");
+
+  std::size_t len = kX25519KeyBytes;
+  Bytes secret(len);
+  if (EVP_PKEY_derive(ctx.get(), secret.data(), &len) != 1 ||
+      len != kX25519KeyBytes)
+    return make_error(Errc::bad_key, "derive failed");
+
+  // Contributory-behaviour check: a low-order peer point yields all zeros.
+  bool all_zero = true;
+  for (auto b : secret) all_zero &= (b == 0);
+  if (all_zero) return make_error(Errc::bad_key, "low-order peer point");
+  return secret;
+}
+
+Result<LongTermKey> derive_long_term_key_x25519(BytesView my_private,
+                                                BytesView peer_public,
+                                                std::string_view member_id,
+                                                std::string_view leader_id) {
+  auto secret = x25519_shared_secret(my_private, peer_public);
+  if (!secret) return secret.error();
+
+  // info = label || member_id || 0x00 || leader_id: binds the role
+  // assignment so Pa(member A with leader L) != Pa(member L with leader A).
+  Bytes info = to_bytes("enclaves-x25519-pa-v1");
+  info.push_back(0);
+  append(info, to_bytes(member_id));
+  info.push_back(0);
+  append(info, to_bytes(leader_id));
+
+  Bytes key = hkdf(/*salt=*/{}, *secret, info, kKeyBytes);
+  return LongTermKey::from_bytes(key);
+}
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,53 @@
+// X25519 public-key authentication support.
+//
+// The paper (Section 2.2, footnote): "Authentication using public-key
+// cryptography is also possible, but is not currently implemented." This
+// module implements that extension: instead of deriving Pa from a password,
+// member and leader hold static X25519 key pairs and derive the SAME
+// long-term key from the static-static Diffie-Hellman secret. The rest of
+// the protocol is untouched — Pa is Pa, whatever produced it — so every
+// verified property carries over unchanged.
+//
+// Uses OpenSSL's EVP X25519; raw 32-byte key encodings throughout.
+#pragma once
+
+#include <string_view>
+
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace enclaves::crypto {
+
+constexpr std::size_t kX25519KeyBytes = 32;
+
+struct X25519KeyPair {
+  Bytes public_key;   // 32 bytes
+  Bytes private_key;  // 32 bytes
+
+  /// Generates a fresh key pair from the OS entropy pool.
+  static Result<X25519KeyPair> generate();
+
+  /// Recomputes the public key from a stored private key.
+  static Result<X25519KeyPair> from_private(BytesView private_key);
+};
+
+/// Raw X25519(private, peer_public) shared secret (32 bytes).
+/// Errc::bad_key on malformed inputs or an all-zero shared secret
+/// (contributory-behaviour check).
+Result<Bytes> x25519_shared_secret(BytesView private_key,
+                                   BytesView peer_public);
+
+/// Derives the protocol long-term key Pa for the (member, leader) pair from
+/// the static-static DH secret. Both sides call this with their own private
+/// key and the peer's public key and obtain the SAME Pa:
+///   member: derive(member_priv, leader_pub,  member_id, leader_id)
+///   leader: derive(leader_priv, member_pub, member_id, leader_id)
+/// The identities are bound into the derivation so the same key pair used
+/// with two leaders (or two member names) yields unrelated Pa values.
+Result<LongTermKey> derive_long_term_key_x25519(BytesView my_private,
+                                                BytesView peer_public,
+                                                std::string_view member_id,
+                                                std::string_view leader_id);
+
+}  // namespace enclaves::crypto

@@ -1,0 +1,85 @@
+// LegacyLeader — leader side of the ORIGINAL Enclaves protocol
+// (Section 2.2). Faithful baseline, including the plaintext pre-auth
+// exchange and req_close handling. See legacy_member.h for the catalogue of
+// reproduced vulnerabilities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rekey_policy.h"
+#include "crypto/aead.h"
+#include "crypto/keys.h"
+#include "util/result.h"
+#include "wire/envelope.h"
+
+namespace enclaves::legacy {
+
+using SendFn = std::function<void(const std::string& to, wire::Envelope)>;
+
+struct LegacyLeaderConfig {
+  std::string id = "L";
+  core::RekeyPolicy rekey = core::RekeyPolicy::manual();
+};
+
+class LegacyLeader {
+ public:
+  LegacyLeader(LegacyLeaderConfig config, Rng& rng,
+               const crypto::Aead& aead = crypto::default_aead());
+
+  void set_send(SendFn send) { send_ = std::move(send); }
+  const std::string& id() const { return config_.id; }
+
+  Status register_member(const std::string& member_id, crypto::LongTermKey pa);
+  void handle(const wire::Envelope& e);
+
+  std::vector<std::string> members() const;
+  bool is_member(const std::string& id) const { return members_.count(id); }
+  std::uint64_t epoch() const { return epoch_; }
+  const crypto::GroupKey& group_key() const { return kg_; }
+
+  /// Distributes a fresh group key via the legacy new_key exchange.
+  void rekey();
+
+  /// Expels a member: closes its session and tells the group (the paper:
+  /// "A variation of this protocol can be used to expel some members").
+  Status expel(const std::string& member_id);
+
+ private:
+  enum class SessionState : std::uint8_t {
+    not_connected,
+    opened,           // ack_open sent
+    waiting_auth_ack, // auth reply sent
+    connected,
+  };
+
+  struct Session {
+    crypto::LongTermKey pa;
+    SessionState state = SessionState::not_connected;
+    crypto::ProtocolNonce n2;
+    crypto::SessionKey ka;
+  };
+
+  void send(const std::string& to, wire::Envelope e);
+  void broadcast_membership(wire::Label label, const std::string& member,
+                            const std::string& exclude);
+  void send_new_key_to(const std::string& member_id);
+  void close_member(const std::string& member_id, bool announce);
+
+  LegacyLeaderConfig config_;
+  Rng& rng_;
+  const crypto::Aead& aead_;
+  SendFn send_;
+
+  std::map<std::string, Session> sessions_;
+  std::set<std::string> members_;
+  crypto::GroupKey kg_;
+  std::uint64_t epoch_ = 0;
+  bool kg_initialized_ = false;
+};
+
+}  // namespace enclaves::legacy

@@ -1,0 +1,113 @@
+#include "model/closure.h"
+
+#include <algorithm>
+
+namespace enclaves::model {
+
+FieldSet::FieldSet(std::vector<FieldId> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+bool FieldSet::contains(FieldId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+bool FieldSet::insert(FieldId id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+FieldSet parts(const FieldPool& pool, const FieldSet& s) {
+  FieldSet out;
+  std::vector<FieldId> work(s.begin(), s.end());
+  while (!work.empty()) {
+    FieldId f = work.back();
+    work.pop_back();
+    if (!out.insert(f)) continue;
+    const FieldData& d = pool.get(f);
+    if (d.kind == FieldKind::pair) {
+      work.push_back(d.arg0);
+      work.push_back(d.arg1);
+    } else if (d.kind == FieldKind::enc) {
+      work.push_back(d.arg0);  // body only; the key is not a part
+    }
+  }
+  return out;
+}
+
+FieldSet analz(const FieldPool& pool, const FieldSet& s) {
+  FieldSet out;
+  std::vector<FieldId> work(s.begin(), s.end());
+  // Sealed fields whose key was not yet available; re-checked whenever a new
+  // key turns up.
+  std::vector<FieldId> locked;
+
+  auto push = [&work](FieldId f) { work.push_back(f); };
+
+  while (!work.empty()) {
+    FieldId f = work.back();
+    work.pop_back();
+    if (!out.insert(f)) continue;
+    const FieldData& d = pool.get(f);
+    if (d.kind == FieldKind::pair) {
+      push(d.arg0);
+      push(d.arg1);
+    } else if (d.kind == FieldKind::enc) {
+      if (out.contains(d.arg1)) {
+        push(d.arg0);
+      } else {
+        locked.push_back(f);
+      }
+    }
+    if (pool.is_key(f)) {
+      // A new key may unlock previously seen encryptions.
+      std::vector<FieldId> still_locked;
+      for (FieldId lf : locked) {
+        const FieldData& ld = pool.get(lf);
+        if (ld.arg1 == f) {
+          push(ld.arg0);
+        } else {
+          still_locked.push_back(lf);
+        }
+      }
+      locked.swap(still_locked);
+    }
+  }
+  return out;
+}
+
+bool synth_member(const FieldPool& pool, FieldId f, const FieldSet& s) {
+  if (s.contains(f)) return true;
+  const FieldData& d = pool.get(f);
+  switch (d.kind) {
+    case FieldKind::agent:
+      return true;  // identities are public knowledge
+    case FieldKind::nonce:
+    case FieldKind::long_term_key:
+    case FieldKind::session_key:
+      return false;  // atoms must come from S
+    case FieldKind::pair:
+      return synth_member(pool, d.arg0, s) && synth_member(pool, d.arg1, s);
+    case FieldKind::enc:
+      return s.contains(d.arg1) && synth_member(pool, d.arg0, s);
+  }
+  return false;
+}
+
+bool ideal_member(const FieldPool& pool, FieldId f, const FieldSet& s) {
+  if (s.contains(f)) return true;
+  const FieldData& d = pool.get(f);
+  switch (d.kind) {
+    case FieldKind::pair:
+      return ideal_member(pool, d.arg0, s) || ideal_member(pool, d.arg1, s);
+    case FieldKind::enc:
+      return !s.contains(d.arg1) && ideal_member(pool, d.arg0, s);
+    default:
+      return false;  // atoms outside s
+  }
+}
+
+}  // namespace enclaves::model

@@ -1,0 +1,112 @@
+#include "model/explorer.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+namespace enclaves::model {
+
+namespace {
+
+struct NodeInfo {
+  std::string parent_key;  // empty for the root
+  std::string via;         // transition label from the parent
+  std::size_t depth = 0;
+};
+
+}  // namespace
+
+ExploreResult Explorer::run(std::size_t max_states) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ExploreResult result;
+
+  std::unordered_map<std::string, NodeInfo> seen;
+  std::deque<ModelState> frontier;
+
+  ModelState init = m_.initial();
+  std::string init_key = init.key();
+  seen.emplace(init_key, NodeInfo{});
+  frontier.push_back(std::move(init));
+
+  auto path_to = [&seen](const std::string& key) {
+    std::vector<std::string> path;
+    std::string cur = key;
+    while (true) {
+      const NodeInfo& info = seen.at(cur);
+      if (info.parent_key.empty()) break;
+      path.push_back(info.via);
+      cur = info.parent_key;
+    }
+    return std::vector<std::string>(path.rbegin(), path.rend());
+  };
+
+  auto classify_all = [&](const ModelState& q) {
+    std::vector<Box> boxes;
+    boxes.reserve(q.members());
+    for (std::size_t i = 0; i < q.members(); ++i)
+      boxes.push_back(checker_.classify(q, i));
+    return boxes;
+  };
+
+  auto record_state = [&](const ModelState& q, const std::string& q_key,
+                          std::size_t depth) {
+    ++result.states_explored;
+    result.max_depth = std::max(result.max_depth, depth);
+    for (Box box : classify_all(q)) {
+      ++result.box_visits[box];
+      if (!result.box_witnesses.count(box)) {
+        result.box_witnesses.emplace(box, path_to(q_key));
+        std::vector<std::string> rendered;
+        for (FieldId f : q.trace) rendered.push_back(m_.show(f));
+        result.box_witness_traces.emplace(box, std::move(rendered));
+      }
+    }
+
+    auto violations = checker_.check_all(q);
+    for (auto& v : violations) {
+      v.detail += " (depth " + std::to_string(depth) + ")";
+      result.violations.push_back(v);
+    }
+    if (!violations.empty() && result.counterexample.empty())
+      result.counterexample = path_to(q_key);
+  };
+
+  record_state(frontier.front(), init_key, 0);
+
+  while (!frontier.empty()) {
+    ModelState q = std::move(frontier.front());
+    frontier.pop_front();
+    const std::string q_key = q.key();
+    const std::size_t depth = seen.at(q_key).depth;
+    const std::vector<Box> q_boxes = classify_all(q);
+
+    for (auto& t : m_.successors(q)) {
+      ++result.transitions_fired;
+      std::string next_key = t.next.key();
+      for (std::size_t i = 0; i < t.next.members(); ++i) {
+        Box next_box = checker_.classify(t.next, i);
+        if (next_box != q_boxes[i])
+          result.box_edges.emplace(q_boxes[i], next_box);
+      }
+
+      auto [it, inserted] = seen.emplace(
+          next_key, NodeInfo{q_key, t.label, depth + 1});
+      if (!inserted) continue;
+
+      record_state(t.next, next_key, depth + 1);
+      if (result.states_explored >= max_states) {
+        result.truncated = true;
+        break;
+      }
+      frontier.push_back(std::move(t.next));
+    }
+    if (result.truncated) break;
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace enclaves::model

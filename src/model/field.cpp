@@ -1,0 +1,85 @@
+#include "model/field.h"
+
+#include <cassert>
+
+namespace enclaves::model {
+
+FieldId FieldPool::intern(FieldData data) {
+  auto it = index_.find(data);
+  if (it != index_.end()) return it->second;
+  FieldId id = static_cast<FieldId>(fields_.size());
+  fields_.push_back(data);
+  index_.emplace(data, id);
+  return id;
+}
+
+FieldId FieldPool::agent(std::int32_t index) {
+  return intern({FieldKind::agent, index, 0});
+}
+
+FieldId FieldPool::nonce(std::int32_t serial) {
+  return intern({FieldKind::nonce, serial, 0});
+}
+
+FieldId FieldPool::long_term_key(std::int32_t agent_index) {
+  return intern({FieldKind::long_term_key, agent_index, 0});
+}
+
+FieldId FieldPool::session_key(std::int32_t serial) {
+  return intern({FieldKind::session_key, serial, 0});
+}
+
+FieldId FieldPool::pair(FieldId x, FieldId y) {
+  assert(x >= 0 && y >= 0);
+  return intern({FieldKind::pair, x, y});
+}
+
+FieldId FieldPool::enc(FieldId body, FieldId key) {
+  assert(body >= 0 && is_key(key));
+  return intern({FieldKind::enc, body, key});
+}
+
+FieldId FieldPool::tuple(const std::vector<FieldId>& xs) {
+  assert(!xs.empty());
+  FieldId acc = xs.back();
+  for (std::size_t i = xs.size() - 1; i-- > 0;) acc = pair(xs[i], acc);
+  return acc;
+}
+
+bool FieldPool::is_atom(FieldId id) const {
+  FieldKind k = get(id).kind;
+  return k == FieldKind::agent || k == FieldKind::nonce ||
+         k == FieldKind::long_term_key || k == FieldKind::session_key;
+}
+
+bool FieldPool::is_key(FieldId id) const {
+  FieldKind k = get(id).kind;
+  return k == FieldKind::long_term_key || k == FieldKind::session_key;
+}
+
+std::string FieldPool::show(FieldId id,
+                            const std::vector<std::string>& names) const {
+  const FieldData& d = get(id);
+  auto agent_name = [&names](std::int32_t idx) {
+    if (idx >= 0 && static_cast<std::size_t>(idx) < names.size())
+      return names[static_cast<std::size_t>(idx)];
+    return "ag" + std::to_string(idx);
+  };
+  switch (d.kind) {
+    case FieldKind::agent:
+      return agent_name(d.arg0);
+    case FieldKind::nonce:
+      return "n" + std::to_string(d.arg0);
+    case FieldKind::long_term_key:
+      return "P(" + agent_name(d.arg0) + ")";
+    case FieldKind::session_key:
+      return "K" + std::to_string(d.arg0);
+    case FieldKind::pair:
+      return "[" + show(d.arg0, names) + ", " + show(d.arg1, names) + "]";
+    case FieldKind::enc:
+      return "{" + show(d.arg0, names) + "}" + show(d.arg1, names);
+  }
+  return "?";
+}
+
+}  // namespace enclaves::model

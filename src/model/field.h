@@ -1,0 +1,88 @@
+// Symbolic message fields — the set F of Section 4 of the paper.
+//
+//   "Agent identities, keys, and nonces are primitive fields.
+//    Given two fields X and Y, their concatenation [X, Y] is a field.
+//    Given a field X and a key K, the encryption {X}_K is a field."
+//
+// Fields are hash-consed in a FieldPool: each structurally distinct field
+// gets one immutable FieldId, so sets of fields are sets of ints and
+// structural equality is id equality. Keys are either long-term (P_a, one
+// per agent) or session keys (K_a, allocated fresh); all are symmetric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace enclaves::model {
+
+using FieldId = std::int32_t;
+constexpr FieldId kNoField = -1;
+
+enum class FieldKind : std::uint8_t {
+  agent,        // identity; arg0 = agent index
+  nonce,        // arg0 = nonce serial
+  long_term_key,// P_a; arg0 = owning agent index
+  session_key,  // K_a; arg0 = key serial
+  pair,         // [X, Y]; arg0 = X, arg1 = Y
+  enc,          // {X}_K; arg0 = X, arg1 = key FieldId
+};
+
+struct FieldData {
+  FieldKind kind;
+  std::int32_t arg0 = 0;
+  std::int32_t arg1 = 0;
+
+  friend bool operator==(const FieldData&, const FieldData&) = default;
+};
+
+class FieldPool {
+ public:
+  FieldId agent(std::int32_t index);
+  FieldId nonce(std::int32_t serial);
+  FieldId long_term_key(std::int32_t agent_index);
+  FieldId session_key(std::int32_t serial);
+  FieldId pair(FieldId x, FieldId y);
+  FieldId enc(FieldId body, FieldId key);
+
+  /// [x1, x2, ..., xn] as right-nested pairs: pair(x1, pair(x2, ...)).
+  FieldId tuple(const std::vector<FieldId>& xs);
+
+  const FieldData& get(FieldId id) const { return fields_[id]; }
+
+  bool is_atom(FieldId id) const;
+  bool is_key(FieldId id) const;
+  bool is_nonce(FieldId id) const {
+    return get(id).kind == FieldKind::nonce;
+  }
+  bool is_session_key(FieldId id) const {
+    return get(id).kind == FieldKind::session_key;
+  }
+  bool is_enc(FieldId id) const { return get(id).kind == FieldKind::enc; }
+  bool is_pair(FieldId id) const { return get(id).kind == FieldKind::pair; }
+
+  std::size_t size() const { return fields_.size(); }
+
+  /// Human-readable rendering, e.g. "{[A, [L, n3]]}P(A)". Agent names are
+  /// rendered via `agent_names` when provided.
+  std::string show(FieldId id,
+                   const std::vector<std::string>& agent_names = {}) const;
+
+ private:
+  FieldId intern(FieldData data);
+
+  struct Hash {
+    std::size_t operator()(const FieldData& d) const {
+      std::size_t h = static_cast<std::size_t>(d.kind);
+      h = h * 1000003u + static_cast<std::size_t>(d.arg0 + 0x9E37);
+      h = h * 1000003u + static_cast<std::size_t>(d.arg1 + 0x79B9);
+      return h;
+    }
+  };
+
+  std::vector<FieldData> fields_;
+  std::unordered_map<FieldData, FieldId, Hash> index_;
+};
+
+}  // namespace enclaves::model

@@ -1,0 +1,288 @@
+#include "model/invariants.h"
+
+#include <algorithm>
+
+namespace enclaves::model {
+
+const char* box_name(Box box) {
+  switch (box) {
+    case Box::q1_idle: return "Q1  NC/NC";
+    case Box::q2_joining: return "Q2  WK/NC";
+    case Box::q3_handshake: return "Q3  WK/WKA";
+    case Box::q4_half_open: return "Q4  C/WKA";
+    case Box::q5_in_session: return "Q5  C/C";
+    case Box::q6_admin_pending: return "Q6  C/WA";
+    case Box::q7_closing: return "Q7  NC/C";
+    case Box::q8_closing_admin: return "Q8  NC/WA";
+    case Box::q9_rejoin_wait: return "Q9  WK/C";
+    case Box::q10_rejoin_admin: return "Q10 WK/WA";
+    case Box::q12_ghost_session: return "Q12 NC/WKA(ghost)";
+    case Box::q13_closed_early: return "Q13 NC/WKA(closed)";
+    case Box::q14_rejoin_ghost: return "Q14 WK/WKA(closed)";
+    case Box::unreachable_c_nc: return "!!  C/NC";
+  }
+  return "?";
+}
+
+bool InvariantChecker::keydist_for(std::size_t i, const FieldSet& pts,
+                                   FieldId n1, FieldId* n2_out,
+                                   FieldId* k_out) const {
+  for (FieldId f : pts) {
+    FieldId n2, k;
+    if (m_.match_key_dist(i, f, n1, n2, k)) {
+      if (n2_out) *n2_out = n2;
+      if (k_out) *k_out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InvariantChecker::authack_for(std::size_t i, const FieldSet& pts,
+                                   FieldId nl, FieldId ka,
+                                   FieldId* n3_out) const {
+  for (FieldId f : pts) {
+    FieldId n3;
+    if (m_.match_auth_ack(i, f, nl, ka, n3)) {
+      if (n3_out) *n3_out = n3;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InvariantChecker::admin_for(std::size_t i, const FieldSet& pts,
+                                 FieldId na, FieldId ka) const {
+  for (FieldId f : pts) {
+    FieldId n_next, x;
+    if (m_.match_admin(i, f, na, ka, n_next, x)) return true;
+  }
+  return false;
+}
+
+bool InvariantChecker::close_for(std::size_t i, const FieldSet& pts,
+                                 FieldId ka) const {
+  for (FieldId f : pts) {
+    if (m_.match_req_close(i, f, ka)) return true;
+  }
+  return false;
+}
+
+std::vector<Violation> InvariantChecker::check_globals(
+    const ModelState& q) const {
+  std::vector<Violation> out;
+  const FieldSet pts = parts(m_.pool(), q.trace);
+  const FieldSet know = m_.intruder_knowledge(q);
+
+  for (std::size_t i = 0; i < q.members(); ++i) {
+    const UserState& usr = q.usrs[i];
+    const LeaderState& lead = q.leads[i];
+    const std::string who =
+        q.members() == 1 ? std::string() : " [A" + std::to_string(i) + "]";
+
+    // §5.1 — regularity: Pa never occurs in the trace; consequently nobody
+    // beyond A and L can know it.
+    if (pts.contains(m_.Pa(i)))
+      out.push_back({"pa-secrecy", "Pa occurs in Parts(trace)" + who});
+    if (know.contains(m_.Pa(i)))
+      out.push_back({"pa-secrecy", "intruder derives Pa" + who});
+
+    const bool in_use = lead.kind != LeaderState::Kind::not_connected;
+    if (in_use) {
+      const FieldId ka = lead.ka;
+      // §5.2 — session-key secrecy while in use.
+      if (know.contains(ka))
+        out.push_back(
+            {"ka-secrecy", "intruder derives in-use " + m_.show(ka) + who});
+      // §5.2 Lemma 1 — an in-use key is no longer fresh.
+      if (!pts.contains(ka))
+        out.push_back(
+            {"lemma1", m_.show(ka) + " in use but not in Parts" + who});
+      // §5.2 property (5) — the trace stays in the coideal of {Ka, Pa}.
+      FieldSet s({ka, m_.Pa(i)});
+      for (FieldId f : q.trace) {
+        if (ideal_member(m_.pool(), f, s)) {
+          out.push_back(
+              {"coideal", "trace field in ideal: " + m_.show(f) + who});
+          break;
+        }
+      }
+    }
+
+    // §5.4 — key/nonce agreement when both sides are Connected.
+    if (usr.kind == UserState::Kind::connected &&
+        lead.kind == LeaderState::Kind::connected) {
+      if (usr.ka != lead.ka)
+        out.push_back({"agreement", "session keys disagree" + who});
+      else if (usr.n != lead.n)
+        out.push_back({"agreement", "chain nonces disagree" + who});
+    }
+
+    // §5.4 — whenever A holds a session key, L holds the same one (InUse).
+    if (usr.kind == UserState::Kind::connected) {
+      if (!in_use || lead.ka != usr.ka)
+        out.push_back({"usr-key-in-use",
+                       "A holds " + m_.show(usr.ka) + " but L does not" + who});
+    }
+
+    // §5.4 — in-order, no-duplicate delivery: rcv is a prefix of snd.
+    if (q.rcv[i].size() > q.snd[i].size() ||
+        !std::equal(q.rcv[i].begin(), q.rcv[i].end(), q.snd[i].begin())) {
+      out.push_back({"rcv-prefix-snd",
+                     "accepted admin list is not a prefix of the sent list" +
+                         who});
+    }
+
+    // §5.4 — proper authentication (counting form).
+    if (q.accepts[i] > q.joins_started[i])
+      out.push_back(
+          {"auth-prefix", "more acceptances than join requests" + who});
+  }
+
+  // Cross-member independence: two distinct members must never share an
+  // in-use session key (their keyspaces are disjoint by construction at the
+  // leader; sharing would let one insider read the other's channel).
+  for (std::size_t i = 0; i < q.members(); ++i) {
+    for (std::size_t j = i + 1; j < q.members(); ++j) {
+      const bool i_in = q.leads[i].kind != LeaderState::Kind::not_connected;
+      const bool j_in = q.leads[j].kind != LeaderState::Kind::not_connected;
+      if (i_in && j_in && q.leads[i].ka == q.leads[j].ka)
+        out.push_back({"key-independence",
+                       "members share in-use " + m_.show(q.leads[i].ka)});
+    }
+  }
+
+  return out;
+}
+
+Box InvariantChecker::classify(const ModelState& q, std::size_t i) const {
+  using UK = UserState::Kind;
+  using LK = LeaderState::Kind;
+  const UserState& usr = q.usrs[i];
+  const LeaderState& lead = q.leads[i];
+  const FieldSet pts = parts(m_.pool(), q.trace);
+
+  switch (lead.kind) {
+    case LK::not_connected:
+      if (usr.kind == UK::not_connected) return Box::q1_idle;
+      if (usr.kind == UK::waiting_for_key) return Box::q2_joining;
+      return Box::unreachable_c_nc;
+    case LK::waiting_for_key_ack: {
+      const bool closed = close_for(i, pts, lead.ka);
+      if (usr.kind == UK::connected) return Box::q4_half_open;
+      if (usr.kind == UK::waiting_for_key)
+        return closed ? Box::q14_rejoin_ghost : Box::q3_handshake;
+      return closed ? Box::q13_closed_early : Box::q12_ghost_session;
+    }
+    case LK::connected:
+      if (usr.kind == UK::connected) return Box::q5_in_session;
+      if (usr.kind == UK::waiting_for_key) return Box::q9_rejoin_wait;
+      return Box::q7_closing;
+    case LK::waiting_for_ack:
+      if (usr.kind == UK::connected) return Box::q6_admin_pending;
+      if (usr.kind == UK::waiting_for_key) return Box::q10_rejoin_admin;
+      return Box::q8_closing_admin;
+  }
+  return Box::unreachable_c_nc;
+}
+
+bool InvariantChecker::box_predicate(const ModelState& q, Box box,
+                                     std::size_t i) const {
+  const FieldSet pts = parts(m_.pool(), q.trace);
+  const UserState& usr = q.usrs[i];
+  const LeaderState& lead = q.leads[i];
+  switch (box) {
+    case Box::q1_idle:
+      return true;
+
+    case Box::q2_joining:
+      // No key-distribution reply for the current N1 exists yet.
+      return !keydist_for(i, pts, usr.n);
+
+    case Box::q12_ghost_session:
+      // Leader answered a (replayed) AuthInitReq; no acknowledgment under
+      // (Nl, Ka) exists and the session was never closed.
+      return !authack_for(i, pts, lead.n, lead.ka) &&
+             !close_for(i, pts, lead.ka);
+
+    case Box::q3_handshake: {
+      // Q3 as printed: (i) any key-dist for A's current nonce names exactly
+      // (Nl, Ka); (ii) no ack for (Nl, Ka) yet; (iii) no close yet.
+      FieldId n2, k;
+      if (keydist_for(i, pts, usr.n, &n2, &k)) {
+        if (n2 != lead.n || k != lead.ka) return false;
+      }
+      return !authack_for(i, pts, lead.n, lead.ka) &&
+             !close_for(i, pts, lead.ka);
+    }
+
+    case Box::q4_half_open: {
+      // Q4 as printed: keys agree; the only ack under (Nl, Ka) carries Na;
+      // no admin message consuming Na yet; no close yet.
+      if (usr.ka != lead.ka) return false;
+      FieldId n3 = kNoField;
+      if (authack_for(i, pts, lead.n, lead.ka, &n3) && n3 != usr.n)
+        return false;
+      return !admin_for(i, pts, usr.n, usr.ka) &&
+             !close_for(i, pts, usr.ka);
+    }
+
+    case Box::q5_in_session:
+      return usr.ka == lead.ka && usr.n == lead.n &&
+             !close_for(i, pts, usr.ka);
+
+    case Box::q6_admin_pending: {
+      if (usr.ka != lead.ka) return false;
+      if (close_for(i, pts, usr.ka)) return false;
+      // Either the outstanding AdminMsg still awaits A (it embeds A's
+      // current Na), or A already answered (the Ack embedding (Nl, usr.n)
+      // is on the wire).
+      bool pending = admin_for(i, pts, usr.n, usr.ka);
+      bool answered = false;
+      for (FieldId f : pts) {
+        FieldId n_next;
+        if (m_.match_ack(i, f, lead.n, lead.ka, n_next) && n_next == usr.n) {
+          answered = true;
+          break;
+        }
+      }
+      return pending || answered;
+    }
+
+    case Box::q7_closing:
+    case Box::q8_closing_admin:
+      // A is gone; its ReqClose for the still-open session is on the wire.
+      return close_for(i, pts, lead.ka);
+
+    case Box::q9_rejoin_wait:
+    case Box::q10_rejoin_admin:
+      // Old session closing, new join pending: close on the wire, and no
+      // key-dist for the fresh N1 yet (L is still busy).
+      return close_for(i, pts, lead.ka) && !keydist_for(i, pts, usr.n);
+
+    case Box::q13_closed_early:
+      return close_for(i, pts, lead.ka);
+
+    case Box::q14_rejoin_ghost:
+      return close_for(i, pts, lead.ka) && !keydist_for(i, pts, usr.n);
+
+    case Box::unreachable_c_nc:
+      return false;  // reaching this box is itself the violation
+  }
+  return false;
+}
+
+std::vector<Violation> InvariantChecker::check_all(const ModelState& q) const {
+  std::vector<Violation> out = check_globals(q);
+  for (std::size_t i = 0; i < q.members(); ++i) {
+    Box box = classify(q, i);
+    if (!box_predicate(q, box, i)) {
+      out.push_back({"diagram",
+                     std::string("member ") + std::to_string(i) +
+                         " violates predicate of box " + box_name(box)});
+    }
+  }
+  return out;
+}
+
+}  // namespace enclaves::model

@@ -1,0 +1,89 @@
+// Invariants and verification-diagram predicates (Section 5).
+//
+// Global invariants, checked in EVERY reachable state, per honest member i
+// (the paper analyzes one member; the properties are per-member):
+//   pa-secrecy        §5.1  Pa_i never occurs in the trace; E never learns it.
+//   ka-secrecy        §5.2  while a session key is in use, E cannot derive it.
+//   lemma1            §5.2  InUse(Ka) ⇒ Ka ∈ Parts(trace).
+//   coideal           §5.2  InUse(Ka) ⇒ trace ⊆ C({Ka, Pa}).
+//   agreement         §5.4  both Connected ⇒ same (Na, Ka).
+//   usr-key-in-use    §5.4  A holds Ka ⇒ L holds the same Ka.
+//   rcv-prefix-snd    §5.4  admin messages accepted by A = prefix of sent.
+//   auth-prefix       §5.4  L's acceptance count ≤ A's join-request count.
+// Plus cross-member independence when the model runs >1 honest member:
+//   key-independence  distinct members never share an in-use session key.
+//
+// Verification diagram (Figure 4): each member's joint (usr_i, lead_i)
+// shape, refined by trace conditions, is classified into a box and the
+// box's predicate (the paper prints Q1, Q2, Q3, Q4, Q12 in full; the others
+// are reconstructed following the same systematic method) is checked. The
+// observed box-to-box edges reconstruct the diagram; box "C/NC" must never
+// be reached.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/protocol_model.h"
+#include "model/state.h"
+
+namespace enclaves::model {
+
+struct Violation {
+  std::string property;
+  std::string detail;
+};
+
+enum class Box : std::uint8_t {
+  q1_idle,            // NC / NC
+  q2_joining,         // WK / NC
+  q3_handshake,       // WK / WKA, same handshake in progress
+  q4_half_open,       // C  / WKA, same Ka, AuthAckKey in flight
+  q5_in_session,      // C  / C
+  q6_admin_pending,   // C  / WA
+  q7_closing,         // NC / C,  ReqClose in flight
+  q8_closing_admin,   // NC / WA, ReqClose in flight with admin outstanding
+  q9_rejoin_wait,     // WK / C,  A rejoined before L processed the close
+  q10_rejoin_admin,   // WK / WA, same with admin outstanding
+  q12_ghost_session,  // NC / WKA, leader answered a replayed AuthInitReq
+  q13_closed_early,   // NC / WKA, A connected+left before L saw the ack
+  q14_rejoin_ghost,   // WK / WKA, A rejoined while L still in an old WKA
+  unreachable_c_nc,   // C / NC — must never occur
+};
+
+const char* box_name(Box box);
+constexpr std::size_t kBoxCount = 14;
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(ProtocolModel& model) : m_(model) {}
+
+  /// All global-invariant violations in q (empty = state is clean).
+  std::vector<Violation> check_globals(const ModelState& q) const;
+
+  /// Structural+trace classification of member i's joint shape in q.
+  Box classify(const ModelState& q, std::size_t member = 0) const;
+
+  /// Does q satisfy the full predicate of `box` for member i (trace clauses
+  /// included)? A false result on classify(q, i) is a diagram-abstraction
+  /// violation.
+  bool box_predicate(const ModelState& q, Box box,
+                     std::size_t member = 0) const;
+
+  /// check_globals + box-predicate check for every member, in one call.
+  std::vector<Violation> check_all(const ModelState& q) const;
+
+ private:
+  bool keydist_for(std::size_t i, const FieldSet& pts, FieldId n1,
+                   FieldId* n2_out = nullptr, FieldId* k_out = nullptr) const;
+  bool authack_for(std::size_t i, const FieldSet& pts, FieldId nl, FieldId ka,
+                   FieldId* n3_out = nullptr) const;
+  bool admin_for(std::size_t i, const FieldSet& pts, FieldId na,
+                 FieldId ka) const;
+  bool close_for(std::size_t i, const FieldSet& pts, FieldId ka) const;
+
+  ProtocolModel& m_;
+};
+
+}  // namespace enclaves::model

@@ -1,0 +1,220 @@
+#include "model/legacy_model.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace enclaves::model {
+
+std::string LegacyModelState::key() const {
+  std::string out;
+  auto push_i32 = [&out](std::int32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  push_i32(a_kg);
+  push_i32(l_kg);
+  out.push_back(b_in_a_view ? 1 : 0);
+  out.push_back(l_removed_b ? 1 : 0);
+  push_i32(static_cast<std::int32_t>(trace.size()));
+  for (FieldId f : trace) push_i32(f);
+  push_i32(static_cast<std::int32_t>(secrets_sent.size()));
+  for (FieldId f : secrets_sent) push_i32(f);
+  push_i32(next_nonce);
+  push_i32(next_key);
+  push_i32(rekeys);
+  push_i32(notices);
+  push_i32(data_sent);
+  return out;
+}
+
+LegacyModel::LegacyModel(LegacyModelConfig config) : config_(config) {
+  names_ = {"A", "L", "E", "B"};
+  a_ = pool_.agent(0);
+  l_ = pool_.agent(1);
+  e_ = pool_.agent(2);
+  b_ = pool_.agent(3);
+  ka_ = pool_.session_key(0);   // secret A-L channel key
+  kg0_ = pool_.session_key(1);  // the old group key E kept when expelled
+  // E is a PAST member: it knows the old group key but not Ka or Kg1.
+  intruder_initial_ = FieldSet({a_, l_, e_, b_, kg0_});
+}
+
+LegacyModelState LegacyModel::initial() const {
+  LegacyModelState q;
+  FieldId kg1 = pool_.session_key(2);  // current key, distributed after E left
+  q.a_kg = kg1;
+  q.l_kg = kg1;
+  q.next_key = 3;
+  // Wire history E observed: both rekey messages ever sent to A.
+  q.trace.insert(pool_.enc(kg0_, ka_));
+  q.trace.insert(pool_.enc(kg1, ka_));
+  return q;
+}
+
+FieldSet LegacyModel::intruder_knowledge(const LegacyModelState& q) const {
+  FieldSet base = intruder_initial_;
+  for (FieldId f : q.trace) base.insert(f);
+  return analz(pool_, base);
+}
+
+std::vector<LegacyTransition> LegacyModel::successors(
+    const LegacyModelState& q) {
+  std::vector<LegacyTransition> out;
+  const FieldSet know = intruder_knowledge(q);
+
+  auto add = [&out](std::string label, LegacyModelState next) {
+    out.push_back({std::move(label), std::move(next)});
+  };
+
+  // L.rekey — fresh group key, sent {Kg'}_Ka (no freshness token: V2).
+  if (q.rekeys < config_.max_rekeys) {
+    LegacyModelState n = q;
+    FieldId kg = pool_.session_key(n.next_key++);
+    n.trace.insert(pool_.enc(kg, ka_));
+    n.l_kg = kg;
+    ++n.rekeys;
+    add("L.rekey", std::move(n));
+  }
+
+  // A.recv_newkey — accepts ANY {K}_Ka it is handed. With the fix, only the
+  // leader's current key is accepted (the abstraction of the nonce chain).
+  {
+    for (FieldId f : know) {
+      const FieldData& d = pool_.get(f);
+      if (d.kind != FieldKind::enc || d.arg1 != ka_) continue;
+      FieldId k = d.arg0;
+      if (!pool_.is_session_key(k)) continue;
+      if (config_.fix_freshness && k != q.l_kg) continue;
+      if (k == q.a_kg) continue;  // no state change
+      LegacyModelState n = q;
+      n.a_kg = k;
+      add(std::string("A.recv_newkey[") +
+              (k == q.l_kg ? "current" : "REPLAYED") + "]",
+          std::move(n));
+    }
+  }
+
+  // L.send_memremoved — genuine notice {B}_Kg under L's current key.
+  if (q.notices < config_.max_notices && !q.l_removed_b) {
+    LegacyModelState n = q;
+    n.trace.insert(pool_.enc(b_, q.l_kg));
+    n.l_removed_b = true;
+    ++n.notices;
+    add("L.send_memremoved", std::move(n));
+  }
+
+  // A.recv_memremoved — accepts {B}_Kg under ITS current key, wherever it
+  // came from (V3: the shared key authenticates nothing). Deliverable if
+  // the field is known (replay) or synthesizable (E holds A's key).
+  if (q.b_in_a_view) {
+    FieldId notice = pool_.enc(b_, q.a_kg);
+    // Deliverable iff the field is in Gen(E, q): observed verbatim (a
+    // genuine notice under A's key) or synthesizable (E holds A's key).
+    const bool observed = know.contains(notice);
+    const bool forgeable = know.contains(q.a_kg);
+    if (observed || forgeable) {
+      LegacyModelState n = q;
+      n.b_in_a_view = false;
+      add(std::string("A.recv_memremoved[") +
+              (observed ? "replayed" : "FORGED") + "]",
+          std::move(n));
+    }
+  }
+
+  // A.send_data — a confidential payload under A's current group key.
+  if (q.data_sent < config_.max_data) {
+    LegacyModelState n = q;
+    FieldId secret = pool_.nonce(n.next_nonce++);
+    n.trace.insert(pool_.enc(secret, q.a_kg));
+    n.secrets_sent.push_back(secret);
+    ++n.data_sent;
+    add("A.send_data", std::move(n));
+  }
+
+  return out;
+}
+
+std::vector<LegacyViolation> LegacyModel::check(
+    const LegacyModelState& q) const {
+  std::vector<LegacyViolation> out;
+  const FieldSet know = intruder_knowledge(q);
+
+  // key-freshness: A must never be keyed with an intruder-known key.
+  if (know.contains(q.a_kg)) {
+    out.push_back({"key-freshness",
+                   "A's group key " + show(q.a_kg) + " is known to E"});
+  }
+  // confidentiality: no published secret may reach E.
+  for (FieldId s : q.secrets_sent) {
+    if (know.contains(s)) {
+      out.push_back({"confidentiality",
+                     "E reads A's confidential payload " + show(s)});
+      break;
+    }
+  }
+  // view-integrity: B leaves A's view only on L's genuine announcement.
+  if (!q.b_in_a_view && !q.l_removed_b) {
+    out.push_back({"view-integrity",
+                   "A dropped B from its view without L's announcement"});
+  }
+  return out;
+}
+
+LegacyExploreResult explore_legacy(LegacyModel& model,
+                                   std::size_t max_states) {
+  LegacyExploreResult result;
+  struct NodeInfo {
+    std::string parent;
+    std::string via;
+  };
+  std::unordered_map<std::string, NodeInfo> seen;
+  std::deque<LegacyModelState> frontier;
+
+  auto path_to = [&seen](const std::string& key) {
+    std::vector<std::string> path;
+    std::string cur = key;
+    while (true) {
+      const NodeInfo& info = seen.at(cur);
+      if (info.parent.empty()) break;
+      path.push_back(info.via);
+      cur = info.parent;
+    }
+    return std::vector<std::string>(path.rbegin(), path.rend());
+  };
+
+  auto record = [&](const LegacyModelState& q, const std::string& key) {
+    ++result.states_explored;
+    auto violations = model.check(q);
+    for (auto& v : violations) result.violations.push_back(v);
+    if (!violations.empty() && result.counterexample.empty())
+      result.counterexample = path_to(key);
+  };
+
+  LegacyModelState init = model.initial();
+  std::string init_key = init.key();
+  seen.emplace(init_key, NodeInfo{});
+  record(init, init_key);
+  frontier.push_back(std::move(init));
+
+  while (!frontier.empty() && !result.truncated) {
+    LegacyModelState q = std::move(frontier.front());
+    frontier.pop_front();
+    const std::string q_key = q.key();
+    for (auto& t : model.successors(q)) {
+      ++result.transitions_fired;
+      std::string next_key = t.next.key();
+      auto [it, inserted] =
+          seen.emplace(next_key, NodeInfo{q_key, t.label});
+      if (!inserted) continue;
+      record(t.next, next_key);
+      if (result.states_explored >= max_states) {
+        result.truncated = true;
+        break;
+      }
+      frontier.push_back(std::move(t.next));
+    }
+  }
+  return result;
+}
+
+}  // namespace enclaves::model

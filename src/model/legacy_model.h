@@ -1,0 +1,106 @@
+// LegacyModel — symbolic model of the ORIGINAL Enclaves rekey/membership
+// subprotocol (Section 2.2), built to let the checker DISCOVER the
+// Section 2.3 attacks as concrete counterexample traces:
+//
+//   new_key      L -> A : {Kg'}_Ka         no freshness evidence (V2)
+//   mem_removed  L -> A : {B}_Kg           under the SHARED group key (V3)
+//   data         A -> * : {secret}_Kg      confidential payload
+//
+// Scenario encoded in the initial state: the intruder E is a PAST member.
+// It still holds the old group key Kg0, and the wire history (trace)
+// contains the old {Kg0}_Ka rekey message it can replay. The current key
+// Kg1 and the channel key Ka are secret.
+//
+// Checked properties (all hold for the improved protocol's model; here the
+// explorer finds violations, reproducing §2.3 symbolically):
+//   key-freshness    A's group key is never one the intruder knows
+//   confidentiality  no secret A sends under its group key reaches E
+//   view-integrity   B leaves A's view only if L said so
+//
+// The `fix_freshness` switch models the improved protocol's repair (the
+// nonce chain collapses, in this abstraction, to "A accepts only the
+// leader's CURRENT key"): with it on, exploration is violation-free —
+// the symbolic twin of the E8–E10 legacy/improved contrast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/closure.h"
+#include "model/field.h"
+
+namespace enclaves::model {
+
+struct LegacyModelConfig {
+  std::int32_t max_rekeys = 2;   // L.rekey steps
+  std::int32_t max_notices = 1;  // genuine mem_removed sends by L
+  std::int32_t max_data = 2;     // confidential payloads A publishes
+  /// Model the improved protocol's freshness repair.
+  bool fix_freshness = false;
+};
+
+struct LegacyModelState {
+  FieldId a_kg = kNoField;  // A's current group key
+  FieldId l_kg = kNoField;  // L's current group key
+  bool b_in_a_view = true;  // does A still believe B is a member?
+  bool l_removed_b = false; // did L genuinely announce B's removal?
+  FieldSet trace;           // message contents observed on the wire
+  std::vector<FieldId> secrets_sent;  // payload atoms A published
+  std::int32_t next_nonce = 0;
+  std::int32_t next_key = 0;
+  std::int32_t rekeys = 0;
+  std::int32_t notices = 0;
+  std::int32_t data_sent = 0;
+
+  friend bool operator==(const LegacyModelState&,
+                         const LegacyModelState&) = default;
+  std::string key() const;
+};
+
+struct LegacyTransition {
+  std::string label;
+  LegacyModelState next;
+};
+
+struct LegacyViolation {
+  std::string property;  // key-freshness / confidentiality / view-integrity
+  std::string detail;
+};
+
+class LegacyModel {
+ public:
+  explicit LegacyModel(LegacyModelConfig config = {});
+
+  LegacyModelState initial() const;
+  std::vector<LegacyTransition> successors(const LegacyModelState& q);
+  std::vector<LegacyViolation> check(const LegacyModelState& q) const;
+
+  FieldSet intruder_knowledge(const LegacyModelState& q) const;
+  std::string show(FieldId f) const { return pool_.show(f, names_); }
+  FieldPool& pool() { return pool_; }
+
+ private:
+  LegacyModelConfig config_;
+  mutable FieldPool pool_;
+  std::vector<std::string> names_;
+  FieldId a_, l_, e_, b_;
+  FieldId ka_;   // the A-L channel key (stand-in for the session key)
+  FieldId kg0_;  // the OLD group key the past member kept
+  FieldSet intruder_initial_;
+};
+
+/// BFS exploration; collects every violation with the first counterexample.
+struct LegacyExploreResult {
+  std::size_t states_explored = 0;
+  std::size_t transitions_fired = 0;
+  bool truncated = false;
+  std::vector<LegacyViolation> violations;
+  std::vector<std::string> counterexample;  // path to the first violation
+  bool ok() const { return violations.empty(); }
+};
+
+LegacyExploreResult explore_legacy(LegacyModel& model,
+                                   std::size_t max_states = 100000);
+
+}  // namespace enclaves::model

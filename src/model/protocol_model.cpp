@@ -1,0 +1,402 @@
+#include "model/protocol_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace enclaves::model {
+
+ProtocolModel::ProtocolModel(ModelConfig config) : config_(config) {
+  assert(config_.members >= 1);
+  const std::size_t n = static_cast<std::size_t>(config_.members);
+  for (std::size_t i = 0; i < n; ++i) {
+    names_.push_back(n == 1 ? "A" : "A" + std::to_string(i));
+    members_.push_back(pool_.agent(static_cast<std::int32_t>(i)));
+    pas_.push_back(pool_.long_term_key(static_cast<std::int32_t>(i)));
+  }
+  names_.push_back("L");
+  l_ = pool_.agent(static_cast<std::int32_t>(n));
+  names_.push_back("E");
+  e_ = pool_.agent(static_cast<std::int32_t>(n + 1));
+  pe_ = pool_.long_term_key(static_cast<std::int32_t>(n + 1));
+
+  // I(E): public identities plus E's own credential. No nonces, no session
+  // keys, and no honest Pa (Section 4.2).
+  std::vector<FieldId> initial = {l_, e_, pe_};
+  for (FieldId a : members_) initial.push_back(a);
+  intruder_initial_ = FieldSet(std::move(initial));
+}
+
+ModelState ProtocolModel::initial() const {
+  return ModelState::initial(members_.size());
+}
+
+FieldSet ProtocolModel::intruder_knowledge(const ModelState& q) const {
+  FieldSet base = intruder_initial_;
+  for (FieldId f : q.trace) base.insert(f);
+  return analz(pool_, base);
+}
+
+bool ProtocolModel::split_tuple(FieldId f, std::size_t n,
+                                std::vector<FieldId>& out) const {
+  out.clear();
+  FieldId cur = f;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!pool_.is_pair(cur)) return false;
+    const FieldData& d = pool_.get(cur);
+    out.push_back(d.arg0);
+    cur = d.arg1;
+  }
+  out.push_back(cur);
+  return true;
+}
+
+bool ProtocolModel::match_auth_init(std::size_t i, FieldId f,
+                                    FieldId& n1) const {
+  const FieldData& d = pool_.get(f);
+  if (d.kind != FieldKind::enc || d.arg1 != pas_[i]) return false;
+  std::vector<FieldId> c;
+  if (!split_tuple(d.arg0, 3, c)) return false;
+  if (c[0] != members_[i] || c[1] != l_ || !pool_.is_nonce(c[2]))
+    return false;
+  n1 = c[2];
+  return true;
+}
+
+bool ProtocolModel::match_key_dist(std::size_t i, FieldId f, FieldId n1,
+                                   FieldId& n2, FieldId& k) const {
+  const FieldData& d = pool_.get(f);
+  if (d.kind != FieldKind::enc || d.arg1 != pas_[i]) return false;
+  std::vector<FieldId> c;
+  if (!split_tuple(d.arg0, 5, c)) return false;
+  if (c[0] != l_ || c[1] != members_[i] || c[2] != n1) return false;
+  if (!pool_.is_nonce(c[3]) || !pool_.is_key(c[4])) return false;
+  n2 = c[3];
+  k = c[4];
+  return true;
+}
+
+bool ProtocolModel::match_auth_ack(std::size_t i, FieldId f, FieldId n2,
+                                   FieldId ka, FieldId& n3) const {
+  const FieldData& d = pool_.get(f);
+  if (d.kind != FieldKind::enc || d.arg1 != ka) return false;
+  std::vector<FieldId> c;
+  if (!split_tuple(d.arg0, 4, c)) return false;
+  if (c[0] != members_[i] || c[1] != l_ || c[2] != n2 ||
+      !pool_.is_nonce(c[3]))
+    return false;
+  n3 = c[3];
+  return true;
+}
+
+bool ProtocolModel::match_admin(std::size_t i, FieldId f, FieldId na,
+                                FieldId ka, FieldId& n_next,
+                                FieldId& x) const {
+  const FieldData& d = pool_.get(f);
+  if (d.kind != FieldKind::enc || d.arg1 != ka) return false;
+  std::vector<FieldId> c;
+  if (!split_tuple(d.arg0, 5, c)) return false;
+  if (c[0] != l_ || c[1] != members_[i] || c[2] != na ||
+      !pool_.is_nonce(c[3]))
+    return false;
+  n_next = c[3];
+  x = c[4];
+  return true;
+}
+
+bool ProtocolModel::match_ack(std::size_t i, FieldId f, FieldId nl,
+                              FieldId ka, FieldId& n_next) const {
+  const FieldData& d = pool_.get(f);
+  if (d.kind != FieldKind::enc || d.arg1 != ka) return false;
+  std::vector<FieldId> c;
+  if (!split_tuple(d.arg0, 4, c)) return false;
+  if (c[0] != members_[i] || c[1] != l_ || c[2] != nl ||
+      !pool_.is_nonce(c[3]))
+    return false;
+  n_next = c[3];
+  return true;
+}
+
+bool ProtocolModel::match_req_close(std::size_t i, FieldId f,
+                                    FieldId ka) const {
+  const FieldData& d = pool_.get(f);
+  if (d.kind != FieldKind::enc || d.arg1 != ka) return false;
+  std::vector<FieldId> c;
+  if (!split_tuple(d.arg0, 2, c)) return false;
+  return c[0] == members_[i] && c[1] == l_;
+}
+
+void ProtocolModel::add(std::vector<Transition>& out, std::string label,
+                        ModelState next) const {
+  out.push_back(Transition{std::move(label), std::move(next)});
+}
+
+std::string ProtocolModel::tag(const char* what, std::size_t i,
+                               const char* how) const {
+  std::string s = (member_count() == 1) ? std::string(what)
+                                        : std::string(what) + "(" +
+                                              names_[i] + ")";
+  if (how) s += std::string("[") + how + "]";
+  return s;
+}
+
+std::vector<Transition> ProtocolModel::successors(const ModelState& q) {
+  std::vector<Transition> out;
+  const FieldSet know = intruder_knowledge(q);
+
+  std::vector<FieldId> known_nonces, known_keys;
+  for (FieldId f : know) {
+    if (pool_.is_nonce(f)) known_nonces.push_back(f);
+    if (pool_.is_key(f)) known_keys.push_back(f);
+  }
+
+  using UK = UserState::Kind;
+  using LK = LeaderState::Kind;
+
+  for (std::size_t i = 0; i < member_count(); ++i) {
+    const UserState& usr = q.usrs[i];
+    const LeaderState& lead = q.leads[i];
+    const FieldId a = members_[i];
+    const FieldId pa = pas_[i];
+
+    // ---------------------------------------------------------------- A_i
+
+    // join — spontaneous AuthInitReq (Figure 2, NotConnected -> Waiting).
+    if (usr.kind == UK::not_connected &&
+        q.joins_started[i] < config_.max_joins) {
+      ModelState n = q;
+      FieldId n1 = pool_.nonce(n.next_nonce++);
+      n.trace.insert(pool_.enc(pool_.tuple({a, l_, n1}), pa));
+      n.usrs[i] = {UK::waiting_for_key, n1, kNoField};
+      ++n.joins_started[i];
+      add(out, tag("A.join", i, nullptr), std::move(n));
+    }
+
+    // recv_keydist — Waiting -> Connected on a matching AuthKeyDist.
+    if (usr.kind == UK::waiting_for_key) {
+      FieldSet tried;
+      auto deliver = [&](FieldId n2, FieldId k, ModelState n,
+                         const char* how) {
+        FieldId n3 = pool_.nonce(n.next_nonce++);
+        n.trace.insert(pool_.enc(pool_.tuple({a, l_, n2, n3}), k));
+        n.usrs[i] = {UK::connected, n3, k};
+        add(out, tag("A.recv_keydist", i, how), std::move(n));
+      };
+      for (FieldId f : know) {
+        FieldId n2, k;
+        if (config_.check_keydist_echo) {
+          if (match_key_dist(i, f, usr.n, n2, k) && tried.insert(f))
+            deliver(n2, k, q, "known");
+        } else {
+          // ABLATION: accept a key distribution echoing ANY nonce.
+          const FieldData& d = pool_.get(f);
+          if (d.kind != FieldKind::enc || d.arg1 != pa) continue;
+          std::vector<FieldId> c;
+          if (!split_tuple(d.arg0, 5, c)) continue;
+          if (c[0] != l_ || c[1] != a || !pool_.is_nonce(c[2]) ||
+              !pool_.is_nonce(c[3]) || !pool_.is_key(c[4]))
+            continue;
+          if (tried.insert(f)) deliver(c[3], c[4], q, "known-noecho");
+        }
+      }
+      // Synthesis path: E builds {[L,A,n1,N2,K]}_Pa itself. Requires Pa and
+      // the member's current N1 (never available if the secrecy theorems
+      // hold — the checker still tries).
+      if (know.contains(pa) && know.contains(usr.n)) {
+        std::vector<FieldId> n2_opts = known_nonces;
+        std::vector<FieldId> k_opts = known_keys;
+        if (config_.intruder_fresh) {
+          n2_opts.push_back(kNoField);  // sentinel: fresh nonce
+          k_opts.push_back(kNoField);   // sentinel: fresh session key
+        }
+        for (FieldId no : n2_opts) {
+          for (FieldId ko : k_opts) {
+            ModelState n = q;
+            FieldId n2 = (no == kNoField) ? pool_.nonce(n.next_nonce++) : no;
+            FieldId k =
+                (ko == kNoField) ? pool_.session_key(n.next_key++) : ko;
+            FieldId f = pool_.enc(pool_.tuple({l_, a, usr.n, n2, k}), pa);
+            if (tried.insert(f)) deliver(n2, k, std::move(n), "synth");
+          }
+        }
+      }
+    }
+
+    // recv_admin — Connected: accept a fresh AdminMsg, reply with Ack.
+    if (usr.kind == UK::connected) {
+      FieldSet tried;
+      auto deliver = [&](FieldId n_next, FieldId x, ModelState n,
+                         const char* how) {
+        FieldId n2i3 = pool_.nonce(n.next_nonce++);
+        n.trace.insert(
+            pool_.enc(pool_.tuple({a, l_, n_next, n2i3}), n.usrs[i].ka));
+        n.usrs[i].n = n2i3;
+        n.rcv[i].push_back(x);
+        add(out, tag("A.recv_admin", i, how), std::move(n));
+      };
+      for (FieldId f : know) {
+        FieldId n_next, x;
+        if (config_.check_admin_chain) {
+          if (match_admin(i, f, usr.n, usr.ka, n_next, x) && tried.insert(f))
+            deliver(n_next, x, q, "known");
+        } else {
+          // ABLATION: accept an AdminMsg carrying ANY chain nonce.
+          const FieldData& d = pool_.get(f);
+          if (d.kind != FieldKind::enc || d.arg1 != usr.ka) continue;
+          std::vector<FieldId> c;
+          if (!split_tuple(d.arg0, 5, c)) continue;
+          if (c[0] != l_ || c[1] != a || !pool_.is_nonce(c[2]) ||
+              !pool_.is_nonce(c[3]))
+            continue;
+          if (tried.insert(f)) deliver(c[3], c[4], q, "known-nochain");
+        }
+      }
+      if (know.contains(usr.ka) && know.contains(usr.n)) {
+        // E holds the session key: enumerate instantiations of N' and X.
+        std::vector<FieldId> n_opts = known_nonces;
+        std::vector<FieldId> x_opts = known_nonces;
+        if (config_.intruder_fresh) {
+          n_opts.push_back(kNoField);
+          x_opts.push_back(kNoField);
+        }
+        for (FieldId no : n_opts) {
+          for (FieldId xo : x_opts) {
+            ModelState n = q;
+            FieldId n_next =
+                (no == kNoField) ? pool_.nonce(n.next_nonce++) : no;
+            FieldId x = (xo == kNoField) ? pool_.nonce(n.next_nonce++) : xo;
+            FieldId f =
+                pool_.enc(pool_.tuple({l_, a, usr.n, n_next, x}), usr.ka);
+            if (tried.insert(f)) deliver(n_next, x, std::move(n), "synth");
+          }
+        }
+      }
+    }
+
+    // leave — Connected -> NotConnected, sending ReqClose.
+    if (usr.kind == UK::connected) {
+      ModelState n = q;
+      n.trace.insert(pool_.enc(pool_.pair(a, l_), usr.ka));
+      n.usrs[i] = {UK::not_connected, kNoField, kNoField};
+      n.rcv[i].clear();  // Section 5.4: rcv_A emptied when A leaves
+      add(out, tag("A.leave", i, nullptr), std::move(n));
+    }
+
+    // ------------------------------------------------------------ L for A_i
+
+    // recv_authinit — NotConnected: answer with a fresh key distribution.
+    if (lead.kind == LK::not_connected) {
+      FieldSet tried;
+      auto deliver = [&](FieldId n1, ModelState n, const char* how) {
+        FieldId n2 = pool_.nonce(n.next_nonce++);
+        FieldId k = pool_.session_key(n.next_key++);
+        n.trace.insert(pool_.enc(pool_.tuple({l_, a, n1, n2, k}), pa));
+        n.leads[i] = {LK::waiting_for_key_ack, n2, k};
+        add(out, tag("L.recv_authinit", i, how), std::move(n));
+      };
+      for (FieldId f : know) {
+        FieldId n1;
+        if (match_auth_init(i, f, n1) && tried.insert(f))
+          deliver(n1, q, "known");
+      }
+      if (know.contains(pa)) {
+        for (FieldId kn : known_nonces) {
+          ModelState n = q;
+          FieldId f = pool_.enc(pool_.tuple({a, l_, kn}), pa);
+          if (tried.insert(f)) deliver(kn, std::move(n), "synth");
+        }
+        if (config_.intruder_fresh) {
+          ModelState n = q;
+          FieldId fresh = pool_.nonce(n.next_nonce++);
+          FieldId f = pool_.enc(pool_.tuple({a, l_, fresh}), pa);
+          if (tried.insert(f)) deliver(fresh, std::move(n), "synth");
+        }
+      }
+    }
+
+    // recv_authack — WaitingForKeyAck -> Connected.
+    if (lead.kind == LK::waiting_for_key_ack) {
+      FieldSet tried;
+      auto deliver = [&](FieldId n3, ModelState n, const char* how) {
+        n.leads[i] = {LK::connected, n3, n.leads[i].ka};
+        ++n.accepts[i];
+        add(out, tag("L.recv_authack", i, how), std::move(n));
+      };
+      for (FieldId f : know) {
+        FieldId n3;
+        if (match_auth_ack(i, f, lead.n, lead.ka, n3) && tried.insert(f))
+          deliver(n3, q, "known");
+      }
+      if (know.contains(lead.ka) && know.contains(lead.n)) {
+        for (FieldId kn : known_nonces) {
+          ModelState n = q;
+          FieldId f = pool_.enc(pool_.tuple({a, l_, lead.n, kn}), lead.ka);
+          if (tried.insert(f)) deliver(kn, std::move(n), "synth");
+        }
+        if (config_.intruder_fresh) {
+          ModelState n = q;
+          FieldId fresh = pool_.nonce(n.next_nonce++);
+          FieldId f = pool_.enc(pool_.tuple({a, l_, lead.n, fresh}), lead.ka);
+          if (tried.insert(f)) deliver(fresh, std::move(n), "synth");
+        }
+      }
+    }
+
+    // send_admin — Connected: spontaneous group-management message.
+    if (lead.kind == LK::connected && q.admins_sent < config_.max_admins) {
+      ModelState n = q;
+      FieldId x = pool_.nonce(n.next_nonce++);   // the admin payload X
+      FieldId nl = pool_.nonce(n.next_nonce++);  // N_{2i+2}
+      n.trace.insert(pool_.enc(pool_.tuple({l_, a, lead.n, nl, x}), lead.ka));
+      n.snd[i].push_back(x);
+      n.leads[i] = {LK::waiting_for_ack, nl, lead.ka};
+      ++n.admins_sent;
+      add(out, tag("L.send_admin", i, nullptr), std::move(n));
+    }
+
+    // recv_ack — WaitingForAck -> Connected.
+    if (lead.kind == LK::waiting_for_ack) {
+      FieldSet tried;
+      auto deliver = [&](FieldId n_next, ModelState n, const char* how) {
+        n.leads[i] = {LK::connected, n_next, n.leads[i].ka};
+        add(out, tag("L.recv_ack", i, how), std::move(n));
+      };
+      for (FieldId f : know) {
+        FieldId n_next;
+        if (match_ack(i, f, lead.n, lead.ka, n_next) && tried.insert(f))
+          deliver(n_next, q, "known");
+      }
+      if (know.contains(lead.ka) && know.contains(lead.n)) {
+        for (FieldId kn : known_nonces) {
+          ModelState n = q;
+          FieldId f = pool_.enc(pool_.tuple({a, l_, lead.n, kn}), lead.ka);
+          if (tried.insert(f)) deliver(kn, std::move(n), "synth");
+        }
+        if (config_.intruder_fresh) {
+          ModelState n = q;
+          FieldId fresh = pool_.nonce(n.next_nonce++);
+          FieldId f = pool_.enc(pool_.tuple({a, l_, lead.n, fresh}), lead.ka);
+          if (tried.insert(f)) deliver(fresh, std::move(n), "synth");
+        }
+      }
+    }
+
+    // recv_reqclose — any session-holding state -> NotConnected + Oops(Ka).
+    if (lead.kind == LK::waiting_for_key_ack || lead.kind == LK::connected ||
+        lead.kind == LK::waiting_for_ack) {
+      FieldId close_field = pool_.enc(pool_.pair(a, l_), lead.ka);
+      bool deliverable =
+          know.contains(close_field) || know.contains(lead.ka);
+      if (deliverable) {
+        ModelState n = q;
+        n.leads[i] = {LK::not_connected, kNoField, kNoField};
+        n.snd[i].clear();          // the paper: snd_A emptied on close
+        n.trace.insert(lead.ka);   // Oops(Ka): the old key becomes public
+        add(out, tag("L.recv_reqclose", i, nullptr), std::move(n));
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace enclaves::model

@@ -1,0 +1,142 @@
+// ProtocolModel — the transition system of Section 4, ready for exhaustive
+// exploration.
+//
+// Agents: honest users A_0..A_{n-1} (Figure 2 each), L (honest leader,
+// one Figure 3 component per member, as the paper models it), and E — the
+// intruder environment standing for all compromised members and outsiders.
+// E's initial knowledge I(E) contains the agent identities and its own
+// long-term key P_e, but no honest member's P_a and no nonce or session key
+// (Section 4.2's assumptions).
+//
+// Intruder-as-network reduction: instead of materializing explicit intruder
+// send steps, a receive transition of an honest agent fires for every
+// candidate content in Gen(E, q) = Synth(Analz(I(E) ∪ trace) ∪ Fresh) that
+// matches the accepted pattern. This is sound and complete for the checked
+// safety properties because (a) honest messages are elements of
+// Analz(I(E) ∪ trace) and thus delivered, (b) anything else E could say is
+// enumerated via pattern-directed synthesis, and (c) E gains nothing by
+// talking to itself (Analz∘Synth∘Analz = Analz).
+//
+// Message shapes follow the VERIFIED model of Section 5 (which carries the
+// identities inside AuthAckKey, cf. the Q3 proof); A below is the member
+// the exchange belongs to:
+//   AuthInitReq : {[A, L, N1]}_Pa
+//   AuthKeyDist : {[L, A, N1, N2, K]}_Pa
+//   AuthAckKey  : {[A, L, N2, N3]}_Ka
+//   AdminMsg    : {[L, A, N2i+1, N2i+2, X]}_Ka      (X modelled as a nonce)
+//   Ack         : {[A, L, N2i+2, N2i+3]}_Ka
+//   ReqClose    : {[A, L]}_Ka
+//   Oops(Ka)    : Ka published on session close (Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/closure.h"
+#include "model/field.h"
+#include "model/state.h"
+
+namespace enclaves::model {
+
+struct ModelConfig {
+  /// Honest members (the paper analyzes 1; 2 adds cross-member
+  /// independence checks at a much larger state space).
+  std::int32_t members = 1;
+
+  /// How many times EACH member may start a join handshake (sessions are
+  /// the main state-space driver).
+  std::int32_t max_joins = 2;
+  /// Total AdminMsg sends by L across all members and sessions.
+  std::int32_t max_admins = 2;
+  /// Allow the intruder to instantiate pattern variables with fresh values
+  /// of its own (in addition to everything it has learned).
+  bool intruder_fresh = true;
+
+  // --- Ablations (experiment E15): disable individual safeguards of the
+  // improved protocol to demonstrate which verified property each one
+  // carries. Defaults reproduce the faithful protocol.
+
+  /// A verifies that AuthKeyDist echoes its fresh N1 (message 2 of §3.2).
+  /// Disabled: replayed key distributions from closed (Oops'd) sessions are
+  /// accepted — expect ka-secrecy / usr-key-in-use violations.
+  bool check_keydist_echo = true;
+
+  /// A verifies that AdminMsg carries the chain nonce N_{2i+1} (§3.2).
+  /// Disabled: replayed admin messages are re-accepted — expect
+  /// rcv-prefix-snd violations (the §2.3 rekey-replay attack resurfaces).
+  bool check_admin_chain = true;
+};
+
+struct Transition {
+  std::string label;  // e.g. "A0.join", "L.recv_ack(A1)[replay]"
+  ModelState next;
+};
+
+class ProtocolModel {
+ public:
+  explicit ProtocolModel(ModelConfig config = {});
+
+  const ModelConfig& config() const { return config_; }
+  std::size_t member_count() const { return members_.size(); }
+  FieldPool& pool() { return pool_; }
+  const FieldPool& pool() const { return pool_; }
+
+  ModelState initial() const;
+
+  /// All transitions enabled in q (honest steps + every distinct
+  /// intruder-deliverable instantiation of each receive pattern).
+  std::vector<Transition> successors(const ModelState& q);
+
+  /// Analz(I(E) ∪ trace): everything the intruder can derive in q.
+  FieldSet intruder_knowledge(const ModelState& q) const;
+
+  // Distinguished atoms.
+  FieldId A(std::size_t i = 0) const { return members_[i]; }
+  FieldId L() const { return l_; }
+  FieldId E() const { return e_; }
+  FieldId Pa(std::size_t i = 0) const { return pas_[i]; }
+  FieldId Pe() const { return pe_; }
+
+  const std::vector<std::string>& agent_names() const { return names_; }
+  std::string show(FieldId f) const { return pool_.show(f, names_); }
+
+  // --- Pattern destructuring helpers (shared with the invariant checker).
+  // All take the member index the exchange belongs to.
+
+  /// Splits right-nested pairs into exactly `n` components; false if the
+  /// field has fewer than n-1 nesting levels.
+  bool split_tuple(FieldId f, std::size_t n, std::vector<FieldId>& out) const;
+
+  /// If f = {[A_i, L, N]}_Pa_i with N a nonce, yields N.
+  bool match_auth_init(std::size_t i, FieldId f, FieldId& n1) const;
+  /// If f = {[L, A_i, n1, N2, K]}_Pa_i for the GIVEN n1, yields N2 and K.
+  bool match_key_dist(std::size_t i, FieldId f, FieldId n1, FieldId& n2,
+                      FieldId& k) const;
+  /// If f = {[A_i, L, n2, N3]}_ka for the GIVEN n2/ka, yields N3.
+  bool match_auth_ack(std::size_t i, FieldId f, FieldId n2, FieldId ka,
+                      FieldId& n3) const;
+  /// If f = {[L, A_i, na, N', X]}_ka for the GIVEN na/ka, yields N' and X.
+  bool match_admin(std::size_t i, FieldId f, FieldId na, FieldId ka,
+                   FieldId& n_next, FieldId& x) const;
+  /// If f = {[A_i, L, nl, N']}_ka for the GIVEN nl/ka, yields N'.
+  bool match_ack(std::size_t i, FieldId f, FieldId nl, FieldId ka,
+                 FieldId& n_next) const;
+  /// If f = {[A_i, L]}_ka for the GIVEN ka.
+  bool match_req_close(std::size_t i, FieldId f, FieldId ka) const;
+
+ private:
+  void add(std::vector<Transition>& out, std::string label,
+           ModelState next) const;
+  std::string tag(const char* what, std::size_t i, const char* how) const;
+
+  ModelConfig config_;
+  mutable FieldPool pool_;
+  std::vector<std::string> names_;
+  std::vector<FieldId> members_;  // agent atoms A_i
+  std::vector<FieldId> pas_;      // long-term keys Pa_i
+  FieldId l_, e_, pe_;
+  FieldSet intruder_initial_;
+};
+
+}  // namespace enclaves::model

@@ -1,0 +1,67 @@
+#include "model/state.h"
+
+namespace enclaves::model {
+
+const char* to_string(UserState::Kind k) {
+  switch (k) {
+    case UserState::Kind::not_connected: return "NotConnected";
+    case UserState::Kind::waiting_for_key: return "WaitingForKey";
+    case UserState::Kind::connected: return "Connected";
+  }
+  return "?";
+}
+
+const char* to_string(LeaderState::Kind k) {
+  switch (k) {
+    case LeaderState::Kind::not_connected: return "NotConnected";
+    case LeaderState::Kind::waiting_for_key_ack: return "WaitingForKeyAck";
+    case LeaderState::Kind::connected: return "Connected";
+    case LeaderState::Kind::waiting_for_ack: return "WaitingForAck";
+  }
+  return "?";
+}
+
+ModelState ModelState::initial(std::size_t n) {
+  ModelState q;
+  q.usrs.resize(n);
+  q.leads.resize(n);
+  q.snd.resize(n);
+  q.rcv.resize(n);
+  q.joins_started.assign(n, 0);
+  q.accepts.assign(n, 0);
+  return q;
+}
+
+std::string ModelState::key() const {
+  std::string out;
+  out.reserve(64 + trace.size() * 4 + usrs.size() * 32);
+  auto push_i32 = [&out](std::int32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  push_i32(static_cast<std::int32_t>(usrs.size()));
+  for (std::size_t i = 0; i < usrs.size(); ++i) {
+    out.push_back(static_cast<char>(usrs[i].kind));
+    push_i32(usrs[i].n);
+    push_i32(usrs[i].ka);
+    out.push_back(static_cast<char>(leads[i].kind));
+    push_i32(leads[i].n);
+    push_i32(leads[i].ka);
+    push_i32(static_cast<std::int32_t>(snd[i].size()));
+    for (FieldId f : snd[i]) push_i32(f);
+    push_i32(static_cast<std::int32_t>(rcv[i].size()));
+    for (FieldId f : rcv[i]) push_i32(f);
+    push_i32(joins_started[i]);
+    push_i32(accepts[i]);
+  }
+  push_i32(static_cast<std::int32_t>(trace.size()));
+  for (FieldId f : trace) push_i32(f);
+  push_i32(admins_sent);
+  // next_nonce / next_key are included so intruder-allocated fresh values
+  // cannot alias.
+  push_i32(next_nonce);
+  push_i32(next_key);
+  return out;
+}
+
+}  // namespace enclaves::model

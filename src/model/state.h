@@ -1,0 +1,91 @@
+// Global model state (Section 4.2).
+//
+// The system is the asynchronous composition of N honest users A_0..A_{n-1}
+// (Figure 2 each), the honest leader L — modelled, as in the paper, as "the
+// composition of separate transition systems, one for each user" (Figure 3
+// per member) — and the intruder environment E that stands for every other
+// compromised agent or outsider (standard Dolev-Yao reduction). A state
+// carries:
+//   - usrs[i]  : member i's local state (Figure 2)
+//   - leads[i] : L's component for member i (Figure 3)
+//   - trace    : the CONTENTS of all messages and oops events so far, as a
+//                set (the paper's trace(q); label/sender/recipient are
+//                attacker-writable, so only contents matter)
+//   - snd[i]/rcv[i]: the ordered admin-payload lists of Section 5.4
+//   - freshness counters and per-member join/accept event counters for the
+//     proper-authentication property.
+//
+// The original paper analyzes one honest member (n=1, the default here);
+// n=2 additionally exercises cross-member independence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/closure.h"
+#include "model/field.h"
+
+namespace enclaves::model {
+
+struct UserState {
+  enum class Kind : std::uint8_t { not_connected, waiting_for_key, connected };
+  Kind kind = Kind::not_connected;
+  FieldId n = kNoField;   // N1 while waiting; Na (last generated) when in
+  FieldId ka = kNoField;  // session key when connected
+
+  friend bool operator==(const UserState&, const UserState&) = default;
+};
+
+struct LeaderState {
+  enum class Kind : std::uint8_t {
+    not_connected,
+    waiting_for_key_ack,
+    connected,
+    waiting_for_ack,
+  };
+  Kind kind = Kind::not_connected;
+  FieldId n = kNoField;   // Nl while waiting; Na (last received) when in
+  FieldId ka = kNoField;  // session key while the session is open
+
+  friend bool operator==(const LeaderState&, const LeaderState&) = default;
+};
+
+struct ModelState {
+  std::vector<UserState> usrs;     // one per honest member
+  std::vector<LeaderState> leads;  // leader component per member
+  FieldSet trace;                  // message/oops contents
+
+  std::vector<std::vector<FieldId>> snd;  // admin payloads sent by L, per member
+  std::vector<std::vector<FieldId>> rcv;  // admin payloads accepted, per member
+
+  std::int32_t next_nonce = 0;
+  std::int32_t next_key = 0;
+
+  std::vector<std::int32_t> joins_started;  // per member, ever
+  std::vector<std::int32_t> accepts;        // per member, ever
+  std::int32_t admins_sent = 0;             // global bound
+
+  /// Number of honest members in this state.
+  std::size_t members() const { return usrs.size(); }
+
+  /// Convenience accessors for the single-member (paper) configuration and
+  /// generic code.
+  UserState& usr(std::size_t i = 0) { return usrs[i]; }
+  const UserState& usr(std::size_t i = 0) const { return usrs[i]; }
+  LeaderState& lead(std::size_t i = 0) { return leads[i]; }
+  const LeaderState& lead(std::size_t i = 0) const { return leads[i]; }
+
+  /// A state sized for `n` members, everything initial.
+  static ModelState initial(std::size_t n);
+
+  friend bool operator==(const ModelState&, const ModelState&) = default;
+
+  /// Canonical serialization for hashing/dedup in the explorer.
+  std::string key() const;
+};
+
+const char* to_string(UserState::Kind k);
+const char* to_string(LeaderState::Kind k);
+
+}  // namespace enclaves::model

@@ -1,0 +1,70 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace enclaves::net {
+
+void SimNetwork::attach(const AgentId& id, Handler handler) {
+  handlers_[id] = std::move(handler);
+}
+
+void SimNetwork::detach(const AgentId& id) { handlers_.erase(id); }
+
+void SimNetwork::enqueue(const AgentId& to, wire::Envelope envelope) {
+  Packet p{next_seq_++, to, std::move(envelope)};
+  log_.push_back(p);
+  queue_.push_back(std::move(p));
+}
+
+void SimNetwork::send(const AgentId& to, wire::Envelope envelope) {
+  if (tap_) {
+    Packet preview{next_seq_, to, envelope};
+    if (tap_(preview) == TapVerdict::drop) {
+      // Dropped packets are still observable (they were on the wire).
+      preview.seq = next_seq_++;
+      log_.push_back(std::move(preview));
+      ++dropped_by_tap_;
+      return;
+    }
+  }
+  enqueue(to, std::move(envelope));
+}
+
+void SimNetwork::inject(const AgentId& to, wire::Envelope envelope) {
+  enqueue(to, std::move(envelope));
+}
+
+bool SimNetwork::deliver_next() {
+  if (queue_.empty()) return false;
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  auto it = handlers_.find(p.to);
+  if (it == handlers_.end()) {
+    ++unroutable_;
+    ENCLAVES_LOG(debug) << "unroutable packet to " << p.to << ": "
+                        << wire::describe(p.envelope);
+    return true;
+  }
+  // Copy the handler: delivery may detach/re-attach agents.
+  Handler h = it->second;
+  h(p.envelope);
+  return true;
+}
+
+std::size_t SimNetwork::run(std::size_t max_steps) {
+  std::size_t n = 0;
+  while (n < max_steps && deliver_next()) ++n;
+  return n;
+}
+
+void SimNetwork::shuffle(Rng& rng) {
+  // Fisher-Yates over the pending queue.
+  for (std::size_t i = queue_.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.below(i));
+    std::swap(queue_[i - 1], queue_[j]);
+  }
+}
+
+}  // namespace enclaves::net

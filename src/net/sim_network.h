@@ -1,0 +1,98 @@
+// Deterministic simulated asynchronous network.
+//
+// Models the paper's network assumptions exactly (Section 3.1): insecure and
+// asynchronous; every agent can observe all traffic ("we assume that all
+// agents are able to observe all the events that have occurred so far"),
+// messages can be dropped, delayed, reordered, replayed, and injected.
+//
+// Routing is by an explicit destination agent id, deliberately separate from
+// the envelope's (untrusted) recipient field. A Tap installed on the network
+// sees every send before queueing and decides its fate — this is how the
+// adversary intercepts; injection puts arbitrary envelopes on the wire. The
+// full traffic log is available for replay attacks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "wire/envelope.h"
+
+namespace enclaves::net {
+
+using AgentId = std::string;
+
+/// One network event: an envelope on its way to `to`.
+struct Packet {
+  std::uint64_t seq = 0;  // global send order
+  AgentId to;
+  wire::Envelope envelope;
+};
+
+enum class TapVerdict : std::uint8_t {
+  deliver,  // queue normally
+  drop,     // silently discard
+};
+
+/// Observes (and may veto) every packet before it is queued. Injected
+/// packets also pass through the log but not through the tap (the adversary
+/// does not intercept itself).
+using Tap = std::function<TapVerdict(const Packet&)>;
+
+/// Delivery callback registered by an agent.
+using Handler = std::function<void(const wire::Envelope&)>;
+
+class SimNetwork {
+ public:
+  SimNetwork() = default;
+
+  /// Registers/replaces the handler for `id`.
+  void attach(const AgentId& id, Handler handler);
+  void detach(const AgentId& id);
+
+  /// Sends an envelope to `to` (normal agent traffic; passes the tap).
+  void send(const AgentId& to, wire::Envelope envelope);
+
+  /// Adversarial injection: bypasses the tap, still logged.
+  void inject(const AgentId& to, wire::Envelope envelope);
+
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+  void clear_tap() { tap_ = nullptr; }
+
+  /// Delivers the oldest queued packet; false when the queue is empty.
+  /// Packets to agents with no handler are dropped (counted).
+  bool deliver_next();
+
+  /// Delivers until quiescent. Returns packets delivered. `max_steps` guards
+  /// against livelock in adversarial scenarios.
+  std::size_t run(std::size_t max_steps = 1u << 20);
+
+  /// Randomly permutes the current queue (reordering tests).
+  void shuffle(Rng& rng);
+
+  std::size_t queue_size() const { return queue_.size(); }
+  std::uint64_t packets_sent() const { return next_seq_; }
+  std::size_t packets_dropped_by_tap() const { return dropped_by_tap_; }
+  std::size_t packets_unroutable() const { return unroutable_; }
+
+  /// Complete traffic history (everything sent or injected), the
+  /// eavesdropper's view of the world.
+  const std::vector<Packet>& log() const { return log_; }
+
+ private:
+  void enqueue(const AgentId& to, wire::Envelope envelope);
+
+  std::map<AgentId, Handler> handlers_;
+  std::deque<Packet> queue_;
+  std::vector<Packet> log_;
+  Tap tap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t dropped_by_tap_ = 0;
+  std::size_t unroutable_ = 0;
+};
+
+}  // namespace enclaves::net

@@ -1,0 +1,83 @@
+// Minimal poll(2)-based TCP transport with length-prefixed framing.
+//
+// One TcpNode per process participant. The leader listens; members connect.
+// Envelopes are encoded with wire::encode and framed with wire::frame. The
+// node is single-threaded: all I/O and callback dispatch happen inside
+// poll_once()/run_for(), so users drive it from one thread (examples spawn
+// one thread per node).
+//
+// This transport provides NO security whatsoever — it is the "insecure
+// network" of the paper. All protection comes from the protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "wire/envelope.h"
+#include "wire/frame.h"
+
+namespace enclaves::net {
+
+using ConnId = int;  // the underlying fd; unique while open
+
+class TcpNode {
+ public:
+  struct Callbacks {
+    std::function<void(ConnId)> on_connect;                 // new peer
+    std::function<void(ConnId, const wire::Envelope&)> on_envelope;
+    std::function<void(ConnId)> on_disconnect;
+  };
+
+  TcpNode() = default;
+  ~TcpNode();
+
+  TcpNode(const TcpNode&) = delete;
+  TcpNode& operator=(const TcpNode&) = delete;
+
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  /// Starts listening on 127.0.0.1:`port` (0 = ephemeral). Returns the bound
+  /// port.
+  Result<std::uint16_t> listen(std::uint16_t port);
+
+  /// Connects to 127.0.0.1:`port`. Returns the connection id.
+  Result<ConnId> connect(std::uint16_t port);
+
+  /// Sends one envelope on `conn`. Errc::closed if the connection is gone.
+  Status send(ConnId conn, const wire::Envelope& envelope);
+
+  /// Closes one connection (triggers on_disconnect).
+  void close_conn(ConnId conn);
+
+  /// Processes pending I/O; returns the number of events handled.
+  /// `timeout_ms` < 0 blocks until an event arrives.
+  std::size_t poll_once(int timeout_ms);
+
+  /// Drives poll_once until `deadline_ms` elapses.
+  void run_for(int deadline_ms);
+
+  std::size_t connection_count() const { return conns_.size(); }
+  bool listening() const { return listen_fd_ >= 0; }
+
+ private:
+  struct Conn {
+    wire::FrameDecoder decoder;
+    Bytes out;  // unsent bytes (partial writes)
+  };
+
+  void accept_pending();
+  bool read_from(ConnId fd);
+  bool flush(ConnId fd);
+  void drop(ConnId fd);
+
+  Callbacks cb_;
+  int listen_fd_ = -1;
+  std::map<ConnId, Conn> conns_;
+};
+
+}  // namespace enclaves::net

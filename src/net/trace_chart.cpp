@@ -1,0 +1,50 @@
+#include "net/trace_chart.h"
+
+#include <sstream>
+
+namespace enclaves::net {
+
+std::string format_sequence_chart(const std::vector<Packet>& log,
+                                  const ChartOptions& options) {
+  std::ostringstream out;
+  std::size_t rendered = 0, skipped_by_cap = 0;
+  for (const auto& p : log) {
+    if (options.filter && !options.filter(p)) continue;
+    if (options.max_packets > 0 && rendered >= options.max_packets) {
+      ++skipped_by_cap;
+      continue;
+    }
+    ++rendered;
+    if (options.show_seq) {
+      out << "#";
+      out.width(4);
+      out.setf(std::ios::left);
+      out << p.seq << " ";
+    }
+    out.width(10);
+    out.setf(std::ios::left);
+    out << p.envelope.sender << " -> ";
+    out.width(10);
+    out << p.to;
+    out << " " << wire::label_name(p.envelope.label) << " ("
+        << p.envelope.body.size() << "B)";
+    if (p.envelope.recipient != p.to &&
+        p.envelope.recipient != wire::kGroupRecipient) {
+      out << "  [recipient field: " << p.envelope.recipient << "]";
+    }
+    out << "\n";
+  }
+  if (skipped_by_cap > 0) out << "... " << skipped_by_cap << " more\n";
+  return out.str();
+}
+
+std::string format_agent_chart(const std::vector<Packet>& log,
+                               const std::string& agent) {
+  ChartOptions options;
+  options.filter = [agent](const Packet& p) {
+    return p.to == agent || p.envelope.sender == agent;
+  };
+  return format_sequence_chart(log, options);
+}
+
+}  // namespace enclaves::net

@@ -1,0 +1,84 @@
+#include "net/udp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace enclaves::net {
+
+UdpNode::~UdpNode() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::uint16_t> UdpNode::bind(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return make_error(Errc::io_error, "socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error,
+                      std::string("bind: ") + strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error, "getsockname");
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return port_;
+}
+
+Status UdpNode::send_to(std::uint16_t to_port,
+                        const wire::Envelope& envelope) {
+  if (fd_ < 0) return make_error(Errc::closed, "not bound");
+  Bytes data = wire::encode(envelope);
+  if (data.size() > kMaxDatagram)
+    return make_error(Errc::oversized, "envelope exceeds datagram limit");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(to_port);
+  ssize_t n = ::sendto(fd_, data.data(), data.size(), 0,
+                       reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (n < 0 || static_cast<std::size_t>(n) != data.size())
+    return make_error(Errc::io_error, "sendto");
+  return Status::success();
+}
+
+std::size_t UdpNode::poll_once(int timeout_ms) {
+  if (fd_ < 0) return 0;
+  pollfd p{fd_, POLLIN, 0};
+  int rc = ::poll(&p, 1, timeout_ms);
+  if (rc <= 0 || !(p.revents & POLLIN)) return 0;
+
+  std::size_t handled = 0;
+  std::uint8_t buf[kMaxDatagram + 1];
+  while (true) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    ssize_t n = ::recvfrom(fd_, buf, sizeof buf, MSG_DONTWAIT,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) break;  // drained (EAGAIN) or error: either way stop
+    auto env = wire::decode_envelope({buf, static_cast<std::size_t>(n)});
+    if (!env) {
+      ++decode_failures_;
+      ENCLAVES_LOG(debug) << "udp: undecodable datagram (" << n << "B)";
+      continue;
+    }
+    ++handled;
+    if (cb_.on_envelope) cb_.on_envelope(ntohs(from.sin_port), *env);
+  }
+  return handled;
+}
+
+}  // namespace enclaves::net

@@ -1,0 +1,61 @@
+// Datagram transport: one envelope per UDP datagram, loopback addressing by
+// port. Unlike TCP there is no delivery or ordering guarantee — this is the
+// transport for which the protocol's retransmission layer (Leader::tick /
+// Member::tick) exists. No security whatsoever, as with every transport
+// here: the protocol layer carries all of it.
+//
+// Datagram size bounds envelope size: an encoded envelope beyond
+// kMaxDatagram is refused at send (data-plane payloads that large belong on
+// the TCP transport).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "wire/envelope.h"
+
+namespace enclaves::net {
+
+class UdpNode {
+ public:
+  static constexpr std::size_t kMaxDatagram = 60000;
+
+  struct Callbacks {
+    /// Invoked per received, well-formed envelope with the sender's port.
+    std::function<void(std::uint16_t from_port, const wire::Envelope&)>
+        on_envelope;
+  };
+
+  UdpNode() = default;
+  ~UdpNode();
+
+  UdpNode(const UdpNode&) = delete;
+  UdpNode& operator=(const UdpNode&) = delete;
+
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral). Returns the bound port.
+  Result<std::uint16_t> bind(std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+
+  /// Sends one envelope as a single datagram to 127.0.0.1:`to_port`.
+  /// Errc::oversized if the encoding exceeds kMaxDatagram.
+  Status send_to(std::uint16_t to_port, const wire::Envelope& envelope);
+
+  /// Receives and dispatches pending datagrams; returns envelopes handled.
+  /// `timeout_ms` < 0 blocks until something arrives.
+  std::size_t poll_once(int timeout_ms);
+
+  /// Undecodable datagrams received (hostile or corrupted).
+  std::uint64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  Callbacks cb_;
+  std::uint64_t decode_failures_ = 0;
+};
+
+}  // namespace enclaves::net

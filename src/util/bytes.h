@@ -1,0 +1,36 @@
+// Byte-buffer primitives shared by every module.
+//
+// `Bytes` is the universal octet-string type of the library: wire messages,
+// ciphertexts, keys, and nonces are all carried as `Bytes` (or fixed-size
+// wrappers defined in crypto/keys.h). Helpers here are deliberately tiny and
+// allocation-transparent; anything subtle (constant-time comparison) lives in
+// crypto/ct.h instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace enclaves {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a Bytes from the raw characters of `s` (no encoding conversion).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets `b` as raw characters (no validation; protocol ids are ASCII).
+std::string to_string(BytesView b);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Concatenates any number of byte views into a fresh buffer.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Non-constant-time equality. Use crypto::ct_equal for secret material.
+bool equal(BytesView a, BytesView b);
+
+}  // namespace enclaves

@@ -1,0 +1,21 @@
+// Hex encoding/decoding, used by tests (vector literals) and diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace enclaves {
+
+/// Lower-case hex encoding of `b`.
+std::string to_hex(BytesView b);
+
+/// Decodes a hex string (case-insensitive). Returns nullopt on odd length or
+/// any non-hex character.
+std::optional<Bytes> from_hex(std::string_view s);
+
+/// Test/diagnostic convenience: aborts on malformed input.
+Bytes must_from_hex(std::string_view s);
+
+}  // namespace enclaves

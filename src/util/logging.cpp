@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace enclaves {
+
+namespace {
+
+LogLevel g_level = LogLevel::warn;
+std::function<void(LogLevel, const std::string&)> g_sink;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "trace";
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace detail
+
+}  // namespace enclaves

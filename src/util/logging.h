@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing by default (quiet libraries compose);
+// examples and the attack harness raise the level to narrate runs. Output
+// goes to stderr; the sink is swappable for tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace enclaves {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+/// Current threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Replaces the sink (default writes "[level] message\n" to stderr).
+/// Pass nullptr to restore the default.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style logging: ENCLAVES_LOG(info) << "joined " << id;
+#define ENCLAVES_LOG(level_)                                          \
+  for (bool once_ = ::enclaves::log_level() <= ::enclaves::LogLevel::level_; \
+       once_; once_ = false)                                          \
+  ::enclaves::detail::LogLine(::enclaves::LogLevel::level_)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace enclaves

@@ -1,0 +1,128 @@
+// Result<T>: the library's error-handling vocabulary.
+//
+// Protocol code rejects malformed or unauthentic input as a matter of course
+// (that is the whole point of an intrusion-tolerant protocol), so failures are
+// values, not exceptions. Result<T> is a minimal expected-like type carrying
+// either a T or an Error{code, message}. Exceptions are reserved for
+// programmer errors (violated preconditions) and resource exhaustion.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace enclaves {
+
+enum class Errc {
+  ok = 0,
+  // Encoding / framing.
+  malformed,        // cannot be parsed at all
+  truncated,        // ran out of bytes mid-field
+  oversized,        // exceeds a declared limit
+  // Cryptographic rejection.
+  auth_failed,      // AEAD tag / MAC mismatch: forged or corrupted
+  bad_key,          // wrong key size / unusable key material
+  // Protocol-state rejection.
+  unexpected,       // message label not accepted in the current state
+  stale,            // freshness check failed: replayed or out-of-order
+  identity_mismatch,// encrypted identities disagree with claimed sender
+  unknown_peer,     // no credentials / session for this agent
+  already_exists,   // duplicate registration / join
+  closed,           // session or transport already closed
+  denied,           // policy refused the operation
+  // Infrastructure.
+  io_error,         // transport-level failure
+  internal,         // invariant breakage that should never happen
+};
+
+/// Human-readable name of an error code (stable; used in logs and tests).
+constexpr const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::malformed: return "malformed";
+    case Errc::truncated: return "truncated";
+    case Errc::oversized: return "oversized";
+    case Errc::auth_failed: return "auth_failed";
+    case Errc::bad_key: return "bad_key";
+    case Errc::unexpected: return "unexpected";
+    case Errc::stale: return "stale";
+    case Errc::identity_mismatch: return "identity_mismatch";
+    case Errc::unknown_peer: return "unknown_peer";
+    case Errc::already_exists: return "already_exists";
+    case Errc::closed: return "closed";
+    case Errc::denied: return "denied";
+    case Errc::io_error: return "io_error";
+    case Errc::internal: return "internal";
+  }
+  return "?";
+}
+
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+inline Error make_error(Errc code, std::string message = {}) {
+  return Error{code, std::move(message)};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(implicit)
+  Result(Error error) : v_(std::move(error)) {}        // NOLINT(implicit)
+  Result(Errc code) : v_(Error{code, {}}) {}           // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { assert(ok()); return std::get<T>(v_); }
+  T& value() & { assert(ok()); return std::get<T>(v_); }
+  T&& value() && { assert(ok()); return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const { assert(!ok()); return std::get<Error>(v_); }
+  Errc code() const { return ok() ? Errc::ok : error().code; }
+
+  /// Returns the value or `fallback` if this is an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                   // success
+  Status(Error error) : err_(std::move(error)), ok_(false) {}  // NOLINT
+  Status(Errc code) : err_(Error{code, {}}), ok_(false) {}     // NOLINT
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const Error& error() const { assert(!ok_); return err_; }
+  Errc code() const { return ok_ ? Errc::ok : err_.code; }
+
+ private:
+  Error err_;
+  bool ok_ = true;
+};
+
+}  // namespace enclaves

@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <sys/random.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace enclaves {
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+void OsRng::fill(std::span<std::uint8_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    ssize_t n = ::getrandom(out.data() + done, out.size() - done, 0);
+    if (n < 0) throw std::runtime_error("getrandom failed");
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t OsRng::next_u64() {
+  std::uint64_t v;
+  fill({reinterpret_cast<std::uint8_t*>(&v), sizeof v});
+  return v;
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+DeterministicRng::DeterministicRng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t DeterministicRng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void DeterministicRng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next_u64();
+    std::size_t n = std::min<std::size_t>(8, out.size() - i);
+    std::memcpy(out.data() + i, &v, n);
+    i += n;
+  }
+}
+
+Rng& global_rng() {
+  static OsRng rng;
+  return rng;
+}
+
+}  // namespace enclaves

@@ -1,0 +1,59 @@
+// Random-number sources.
+//
+// All nonce/key generation in the protocol goes through the Rng interface so
+// that tests and the attack harness can run deterministically while
+// production code uses the OS entropy pool. The paper's security argument
+// depends on nonces and session keys being *fresh* (never previously used);
+// DeterministicRng guarantees distinct outputs per instance stream, and OsRng
+// relies on getrandom(2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/bytes.h"
+
+namespace enclaves {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Uniform 64-bit value.
+  virtual std::uint64_t next_u64() = 0;
+
+  /// Convenience: a fresh buffer of `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+};
+
+/// Kernel entropy (getrandom / /dev/urandom). Thread-safe.
+class OsRng final : public Rng {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+  std::uint64_t next_u64() override;
+};
+
+/// xoshiro256** seeded stream; reproducible across runs for identical seeds.
+/// NOT cryptographically secure — tests and simulations only.
+class DeterministicRng final : public Rng {
+ public:
+  explicit DeterministicRng(std::uint64_t seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+  std::uint64_t next_u64() override;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Process-wide OsRng singleton for call sites without an injected Rng.
+Rng& global_rng();
+
+}  // namespace enclaves

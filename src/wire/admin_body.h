@@ -1,0 +1,70 @@
+// Group-management message contents — the field X of an AdminMsg.
+//
+// Section 3.2: "The field X is the actual group-management message. For
+// example, X may specify a new group key and initialization vector, or
+// indicate that a member has joined or left the session."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace enclaves::wire {
+
+/// New group key Kg with its epoch. Epochs increase monotonically; members
+/// discard data-plane traffic from older epochs after a rekey.
+struct NewGroupKey {
+  crypto::GroupKey key;
+  std::uint64_t epoch = 0;
+  friend bool operator==(const NewGroupKey&, const NewGroupKey&) = default;
+};
+
+struct MemberJoined {
+  std::string member;
+  friend bool operator==(const MemberJoined&, const MemberJoined&) = default;
+};
+
+struct MemberLeft {
+  std::string member;
+  friend bool operator==(const MemberLeft&, const MemberLeft&) = default;
+};
+
+/// Full membership snapshot, sent to a member right after it joins so it can
+/// initialize its view (Section 2.2: "sends to A the identity of all the
+/// other group members").
+struct MemberList {
+  std::vector<std::string> members;
+  friend bool operator==(const MemberList&, const MemberList&) = default;
+};
+
+/// Free-form administrative notice (leader announcements, application-level
+/// control traffic).
+struct Notice {
+  std::string text;
+  friend bool operator==(const Notice&, const Notice&) = default;
+};
+
+/// Final message of an administrative expulsion (the paper: "A variation of
+/// this protocol can be used to expel some members of the group"). Arrives
+/// on the authenticated admin channel, so unlike the legacy protocol's
+/// close handling it cannot be forged by insiders.
+struct Expelled {
+  std::string reason;
+  friend bool operator==(const Expelled&, const Expelled&) = default;
+};
+
+using AdminBody = std::variant<NewGroupKey, MemberJoined, MemberLeft,
+                               MemberList, Notice, Expelled>;
+
+Bytes encode(const AdminBody& body);
+Result<AdminBody> decode_admin_body(BytesView raw);
+
+/// Human-readable description for narration/logging.
+std::string describe(const AdminBody& body);
+
+}  // namespace enclaves::wire

@@ -1,0 +1,101 @@
+#include "wire/envelope.h"
+
+#include "wire/codec.h"
+
+namespace enclaves::wire {
+
+const char* label_name(Label label) {
+  switch (label) {
+    case Label::AuthInitReq: return "AuthInitReq";
+    case Label::AuthKeyDist: return "AuthKeyDist";
+    case Label::AuthAckKey: return "AuthAckKey";
+    case Label::AdminMsg: return "AdminMsg";
+    case Label::Ack: return "Ack";
+    case Label::ReqClose: return "ReqClose";
+    case Label::LegacyReqOpen: return "LegacyReqOpen";
+    case Label::LegacyAckOpen: return "LegacyAckOpen";
+    case Label::LegacyConnectionDenied: return "LegacyConnectionDenied";
+    case Label::LegacyAuthInit: return "LegacyAuthInit";
+    case Label::LegacyAuthReply: return "LegacyAuthReply";
+    case Label::LegacyAuthAck: return "LegacyAuthAck";
+    case Label::LegacyNewKey: return "LegacyNewKey";
+    case Label::LegacyNewKeyAck: return "LegacyNewKeyAck";
+    case Label::LegacyMemRemoved: return "LegacyMemRemoved";
+    case Label::LegacyMemAdded: return "LegacyMemAdded";
+    case Label::LegacyReqClose: return "LegacyReqClose";
+    case Label::LegacyCloseConnection: return "LegacyCloseConnection";
+    case Label::GroupData: return "GroupData";
+  }
+  return "?";
+}
+
+bool is_known_label(std::uint8_t raw) {
+  switch (static_cast<Label>(raw)) {
+    case Label::AuthInitReq:
+    case Label::AuthKeyDist:
+    case Label::AuthAckKey:
+    case Label::AdminMsg:
+    case Label::Ack:
+    case Label::ReqClose:
+    case Label::LegacyReqOpen:
+    case Label::LegacyAckOpen:
+    case Label::LegacyConnectionDenied:
+    case Label::LegacyAuthInit:
+    case Label::LegacyAuthReply:
+    case Label::LegacyAuthAck:
+    case Label::LegacyNewKey:
+    case Label::LegacyNewKeyAck:
+    case Label::LegacyMemRemoved:
+    case Label::LegacyMemAdded:
+    case Label::LegacyReqClose:
+    case Label::LegacyCloseConnection:
+    case Label::GroupData:
+      return true;
+  }
+  return false;
+}
+
+Bytes encode(const Envelope& e) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(e.label));
+  w.str(e.sender);
+  w.str(e.recipient);
+  w.var_bytes(e.body);
+  return std::move(w).take();
+}
+
+Result<Envelope> decode_envelope(BytesView raw) {
+  Reader r(raw);
+  auto label = r.u8();
+  if (!label) return label.error();
+  if (!is_known_label(*label))
+    return make_error(Errc::malformed, "unknown label");
+  auto sender = r.str();
+  if (!sender) return sender.error();
+  auto recipient = r.str();
+  if (!recipient) return recipient.error();
+  auto body = r.var_bytes();
+  if (!body) return body.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+
+  Envelope e;
+  e.label = static_cast<Label>(*label);
+  e.sender = *std::move(sender);
+  e.recipient = *std::move(recipient);
+  e.body = *std::move(body);
+  return e;
+}
+
+std::string describe(const Envelope& e) {
+  std::string s = label_name(e.label);
+  s += " ";
+  s += e.sender;
+  s += "->";
+  s += e.recipient;
+  s += " (";
+  s += std::to_string(e.body.size());
+  s += "B)";
+  return s;
+}
+
+}  // namespace enclaves::wire

@@ -1,0 +1,67 @@
+// Message envelope: label, apparent sender, intended recipient, body.
+//
+// This mirrors the paper's message space exactly (Section 4: "Each message
+// consists of a label, an apparent sender, an intended recipient, and a
+// content"). The label, sender, and recipient travel in the clear and are
+// UNTRUSTED — an attacker can put anything there. All security decisions rest
+// on what the body decrypts to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace enclaves::wire {
+
+enum class Label : std::uint8_t {
+  // Improved intrusion-tolerant protocol (Section 3.2).
+  AuthInitReq = 1,
+  AuthKeyDist = 2,
+  AuthAckKey = 3,
+  AdminMsg = 4,
+  Ack = 5,
+  ReqClose = 6,
+
+  // Legacy Enclaves protocol (Section 2.2) — the vulnerable baseline.
+  LegacyReqOpen = 32,
+  LegacyAckOpen = 33,
+  LegacyConnectionDenied = 34,
+  LegacyAuthInit = 35,
+  LegacyAuthReply = 36,
+  LegacyAuthAck = 37,
+  LegacyNewKey = 38,
+  LegacyNewKeyAck = 39,
+  LegacyMemRemoved = 40,
+  LegacyMemAdded = 41,
+  LegacyReqClose = 42,
+  LegacyCloseConnection = 43,
+
+  // Group data plane (shared shape; keyed under Kg).
+  GroupData = 64,
+};
+
+/// Stable label name for logs and attack narration.
+const char* label_name(Label label);
+bool is_known_label(std::uint8_t raw);
+
+/// Recipient value used for messages addressed to the whole group.
+inline constexpr const char* kGroupRecipient = "*";
+
+struct Envelope {
+  Label label = Label::AuthInitReq;
+  std::string sender;     // apparent sender — untrusted
+  std::string recipient;  // intended recipient — untrusted
+  Bytes body;             // label-specific content
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+Bytes encode(const Envelope& e);
+Result<Envelope> decode_envelope(BytesView raw);
+
+/// Short one-line description for narration, e.g. "AdminMsg L->A (52B)".
+std::string describe(const Envelope& e);
+
+}  // namespace enclaves::wire

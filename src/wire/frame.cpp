@@ -1,0 +1,35 @@
+#include "wire/frame.h"
+
+namespace enclaves::wire {
+
+Bytes frame(BytesView payload) {
+  Bytes out;
+  out.reserve(4 + payload.size());
+  std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 3; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+  append(out, payload);
+  return out;
+}
+
+Status FrameDecoder::feed(BytesView chunk) {
+  append(buf_, chunk);
+  while (buf_.size() >= 4) {
+    std::uint32_t n = 0;
+    for (int i = 0; i < 4; ++i) n = (n << 8) | buf_[static_cast<size_t>(i)];
+    if (n > kMaxFrameLen) return make_error(Errc::oversized, "frame length");
+    if (buf_.size() < 4 + static_cast<std::size_t>(n)) break;
+    ready_.emplace_back(buf_.begin() + 4, buf_.begin() + 4 + n);
+    buf_.erase(buf_.begin(), buf_.begin() + 4 + n);
+  }
+  return Status::success();
+}
+
+std::optional<Bytes> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  Bytes f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+}  // namespace enclaves::wire

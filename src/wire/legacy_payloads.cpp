@@ -1,0 +1,175 @@
+#include "wire/legacy_payloads.h"
+
+#include "wire/codec.h"
+
+namespace enclaves::wire {
+
+namespace {
+
+enum class P : std::uint8_t {
+  auth_init = 0xB1,
+  auth_reply = 0xB2,
+  auth_ack = 0xB3,
+  new_key = 0xB4,
+  new_key_ack = 0xB5,
+  membership = 0xB6,
+};
+
+constexpr std::size_t kIvLen = 16;
+
+Status expect_type(Reader& r, P want) {
+  auto t = r.u8();
+  if (!t) return t.error();
+  if (*t != static_cast<std::uint8_t>(want))
+    return make_error(Errc::malformed, "payload type mismatch");
+  return Status::success();
+}
+
+Result<crypto::ProtocolNonce> read_nonce(Reader& r) {
+  auto b = r.raw(crypto::kNonceBytes);
+  if (!b) return b.error();
+  return crypto::ProtocolNonce::from_bytes(*b);
+}
+
+}  // namespace
+
+Bytes encode(const LegacyAuthInitPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::auth_init));
+  w.str(p.a);
+  w.str(p.l);
+  w.raw(p.n1.view());
+  return std::move(w).take();
+}
+
+Result<LegacyAuthInitPayload> decode_legacy_auth_init(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::auth_init); !s) return s.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  auto n1 = read_nonce(r);
+  if (!n1) return n1.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return LegacyAuthInitPayload{*std::move(a), *std::move(l), *n1};
+}
+
+Bytes encode(const LegacyAuthReplyPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::auth_reply));
+  w.str(p.l);
+  w.str(p.a);
+  w.raw(p.n1.view());
+  w.raw(p.n2.view());
+  w.raw(p.ka.view());
+  w.var_bytes(p.iv);
+  w.raw(p.kg.view());
+  w.u64(p.epoch);
+  return std::move(w).take();
+}
+
+Result<LegacyAuthReplyPayload> decode_legacy_auth_reply(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::auth_reply); !s) return s.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto n1 = read_nonce(r);
+  if (!n1) return n1.error();
+  auto n2 = read_nonce(r);
+  if (!n2) return n2.error();
+  auto ka = r.raw(crypto::kKeyBytes);
+  if (!ka) return ka.error();
+  auto iv = r.var_bytes();
+  if (!iv) return iv.error();
+  if (iv->size() != kIvLen) return make_error(Errc::malformed, "iv length");
+  auto kg = r.raw(crypto::kKeyBytes);
+  if (!kg) return kg.error();
+  auto epoch = r.u64();
+  if (!epoch) return epoch.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return LegacyAuthReplyPayload{*std::move(l),
+                                *std::move(a),
+                                *n1,
+                                *n2,
+                                crypto::SessionKey::from_bytes(*ka),
+                                *std::move(iv),
+                                crypto::GroupKey::from_bytes(*kg),
+                                *epoch};
+}
+
+Bytes encode(const LegacyAuthAckPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::auth_ack));
+  w.raw(p.n2.view());
+  return std::move(w).take();
+}
+
+Result<LegacyAuthAckPayload> decode_legacy_auth_ack(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::auth_ack); !s) return s.error();
+  auto n2 = read_nonce(r);
+  if (!n2) return n2.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return LegacyAuthAckPayload{*n2};
+}
+
+Bytes encode(const LegacyNewKeyPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::new_key));
+  w.raw(p.kg.view());
+  w.var_bytes(p.iv);
+  w.u64(p.epoch);
+  return std::move(w).take();
+}
+
+Result<LegacyNewKeyPayload> decode_legacy_new_key(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::new_key); !s) return s.error();
+  auto kg = r.raw(crypto::kKeyBytes);
+  if (!kg) return kg.error();
+  auto iv = r.var_bytes();
+  if (!iv) return iv.error();
+  if (iv->size() != kIvLen) return make_error(Errc::malformed, "iv length");
+  auto epoch = r.u64();
+  if (!epoch) return epoch.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return LegacyNewKeyPayload{crypto::GroupKey::from_bytes(*kg),
+                             *std::move(iv), *epoch};
+}
+
+Bytes encode(const LegacyNewKeyAckPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::new_key_ack));
+  w.raw(p.kg.view());
+  return std::move(w).take();
+}
+
+Result<LegacyNewKeyAckPayload> decode_legacy_new_key_ack(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::new_key_ack); !s) return s.error();
+  auto kg = r.raw(crypto::kKeyBytes);
+  if (!kg) return kg.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return LegacyNewKeyAckPayload{crypto::GroupKey::from_bytes(*kg)};
+}
+
+Bytes encode(const LegacyMembershipPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::membership));
+  w.str(p.member);
+  return std::move(w).take();
+}
+
+Result<LegacyMembershipPayload> decode_legacy_membership(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::membership); !s) return s.error();
+  auto m = r.str();
+  if (!m) return m.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return LegacyMembershipPayload{*std::move(m)};
+}
+
+}  // namespace enclaves::wire

@@ -1,0 +1,90 @@
+// Plaintext payloads of the ORIGINAL Enclaves protocol (Section 2.2).
+//
+// This is the vulnerable baseline, reproduced faithfully so the attack
+// harness can demonstrate the Section 2.3 weaknesses:
+//   - pre-auth exchange in the clear (forgeable connection_denied),
+//   - Kg delivered inside the auth reply,
+//   - new_key messages with no freshness evidence (replayable),
+//   - membership notices under the shared group key (insider-forgeable).
+// Do NOT use this protocol for anything but experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace enclaves::wire {
+
+/// {A, L, N1}_Pa — legacy auth message 1 content.
+struct LegacyAuthInitPayload {
+  std::string a;
+  std::string l;
+  crypto::ProtocolNonce n1;
+  friend bool operator==(const LegacyAuthInitPayload&,
+                         const LegacyAuthInitPayload&) = default;
+};
+
+/// {L, A, N1, N2, Ka, IV, Kg}_Pa — legacy auth message 2 content.
+struct LegacyAuthReplyPayload {
+  std::string l;
+  std::string a;
+  crypto::ProtocolNonce n1;
+  crypto::ProtocolNonce n2;
+  crypto::SessionKey ka;
+  Bytes iv;  // 16-byte initialization vector, faithful to the paper
+  crypto::GroupKey kg;
+  std::uint64_t epoch = 0;  // implementation detail: identifies Kg versions
+  friend bool operator==(const LegacyAuthReplyPayload&,
+                         const LegacyAuthReplyPayload&) = default;
+};
+
+/// {N2}_Ka — legacy auth message 3 content.
+struct LegacyAuthAckPayload {
+  crypto::ProtocolNonce n2;
+  friend bool operator==(const LegacyAuthAckPayload&,
+                         const LegacyAuthAckPayload&) = default;
+};
+
+/// {Kg', IV}_Ka — legacy rekey content. NO freshness field: this is the
+/// replay vulnerability of Section 2.3.
+struct LegacyNewKeyPayload {
+  crypto::GroupKey kg;
+  Bytes iv;
+  std::uint64_t epoch = 0;
+  friend bool operator==(const LegacyNewKeyPayload&,
+                         const LegacyNewKeyPayload&) = default;
+};
+
+/// {Kg'}_Kg' — legacy rekey acknowledgment content.
+struct LegacyNewKeyAckPayload {
+  crypto::GroupKey kg;
+  friend bool operator==(const LegacyNewKeyAckPayload&,
+                         const LegacyNewKeyAckPayload&) = default;
+};
+
+/// {A}_Kg — membership notice content (mem_removed / mem_added). Encrypted
+/// under the SHARED group key: any member can forge it (Section 2.3).
+struct LegacyMembershipPayload {
+  std::string member;
+  friend bool operator==(const LegacyMembershipPayload&,
+                         const LegacyMembershipPayload&) = default;
+};
+
+Bytes encode(const LegacyAuthInitPayload& p);
+Bytes encode(const LegacyAuthReplyPayload& p);
+Bytes encode(const LegacyAuthAckPayload& p);
+Bytes encode(const LegacyNewKeyPayload& p);
+Bytes encode(const LegacyNewKeyAckPayload& p);
+Bytes encode(const LegacyMembershipPayload& p);
+
+Result<LegacyAuthInitPayload> decode_legacy_auth_init(BytesView raw);
+Result<LegacyAuthReplyPayload> decode_legacy_auth_reply(BytesView raw);
+Result<LegacyAuthAckPayload> decode_legacy_auth_ack(BytesView raw);
+Result<LegacyNewKeyPayload> decode_legacy_new_key(BytesView raw);
+Result<LegacyNewKeyAckPayload> decode_legacy_new_key_ack(BytesView raw);
+Result<LegacyMembershipPayload> decode_legacy_membership(BytesView raw);
+
+}  // namespace enclaves::wire

@@ -1,0 +1,212 @@
+#include "wire/payloads.h"
+
+#include "wire/codec.h"
+
+namespace enclaves::wire {
+
+namespace {
+
+// Type octets: hedge against cross-payload confusion under one key.
+enum class P : std::uint8_t {
+  auth_init = 0xA1,
+  auth_key_dist = 0xA2,
+  auth_ack = 0xA3,
+  admin = 0xA4,
+  ack = 0xA5,
+  req_close = 0xA6,
+  group_data = 0xA7,
+};
+
+Status expect_type(Reader& r, P want) {
+  auto t = r.u8();
+  if (!t) return t.error();
+  if (*t != static_cast<std::uint8_t>(want))
+    return make_error(Errc::malformed, "payload type mismatch");
+  return Status::success();
+}
+
+Result<crypto::ProtocolNonce> read_nonce(Reader& r) {
+  auto b = r.raw(crypto::kNonceBytes);
+  if (!b) return b.error();
+  return crypto::ProtocolNonce::from_bytes(*b);
+}
+
+Result<crypto::SessionKey> read_session_key(Reader& r) {
+  auto b = r.raw(crypto::kKeyBytes);
+  if (!b) return b.error();
+  return crypto::SessionKey::from_bytes(*b);
+}
+
+}  // namespace
+
+Bytes encode(const AuthInitPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::auth_init));
+  w.str(p.a);
+  w.str(p.l);
+  w.raw(p.n1.view());
+  return std::move(w).take();
+}
+
+Result<AuthInitPayload> decode_auth_init(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::auth_init); !s) return s.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  auto n1 = read_nonce(r);
+  if (!n1) return n1.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return AuthInitPayload{*std::move(a), *std::move(l), *n1};
+}
+
+Bytes encode(const AuthKeyDistPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::auth_key_dist));
+  w.str(p.l);
+  w.str(p.a);
+  w.raw(p.n1.view());
+  w.raw(p.n2.view());
+  w.raw(p.ka.view());
+  return std::move(w).take();
+}
+
+Result<AuthKeyDistPayload> decode_auth_key_dist(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::auth_key_dist); !s) return s.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto n1 = read_nonce(r);
+  if (!n1) return n1.error();
+  auto n2 = read_nonce(r);
+  if (!n2) return n2.error();
+  auto ka = read_session_key(r);
+  if (!ka) return ka.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return AuthKeyDistPayload{*std::move(l), *std::move(a), *n1, *n2, *ka};
+}
+
+Bytes encode(const AuthAckPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::auth_ack));
+  w.raw(p.n2.view());
+  w.raw(p.n3.view());
+  return std::move(w).take();
+}
+
+Result<AuthAckPayload> decode_auth_ack(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::auth_ack); !s) return s.error();
+  auto n2 = read_nonce(r);
+  if (!n2) return n2.error();
+  auto n3 = read_nonce(r);
+  if (!n3) return n3.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return AuthAckPayload{*n2, *n3};
+}
+
+Bytes encode(const AdminPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::admin));
+  w.str(p.l);
+  w.str(p.a);
+  w.raw(p.n_prev.view());
+  w.raw(p.n_next.view());
+  w.var_bytes(encode(p.body));
+  return std::move(w).take();
+}
+
+Result<AdminPayload> decode_admin(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::admin); !s) return s.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto n_prev = read_nonce(r);
+  if (!n_prev) return n_prev.error();
+  auto n_next = read_nonce(r);
+  if (!n_next) return n_next.error();
+  auto body_raw = r.var_bytes();
+  if (!body_raw) return body_raw.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  auto body = decode_admin_body(*body_raw);
+  if (!body) return body.error();
+  return AdminPayload{*std::move(l), *std::move(a), *n_prev, *n_next,
+                      *std::move(body)};
+}
+
+Bytes encode(const AckPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::ack));
+  w.str(p.a);
+  w.str(p.l);
+  w.raw(p.n_prev.view());
+  w.raw(p.n_next.view());
+  return std::move(w).take();
+}
+
+Result<AckPayload> decode_ack(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::ack); !s) return s.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  auto n_prev = read_nonce(r);
+  if (!n_prev) return n_prev.error();
+  auto n_next = read_nonce(r);
+  if (!n_next) return n_next.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return AckPayload{*std::move(a), *std::move(l), *n_prev, *n_next};
+}
+
+Bytes encode(const ReqClosePayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::req_close));
+  w.str(p.a);
+  w.str(p.l);
+  return std::move(w).take();
+}
+
+Result<ReqClosePayload> decode_req_close(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::req_close); !s) return s.error();
+  auto a = r.str();
+  if (!a) return a.error();
+  auto l = r.str();
+  if (!l) return l.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return ReqClosePayload{*std::move(a), *std::move(l)};
+}
+
+Bytes encode(const GroupDataPayload& p) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(P::group_data));
+  w.str(p.origin);
+  w.u64(p.epoch);
+  w.u64(p.seq);
+  w.var_bytes(p.payload);
+  return std::move(w).take();
+}
+
+Result<GroupDataPayload> decode_group_data(BytesView raw) {
+  Reader r(raw);
+  if (auto s = expect_type(r, P::group_data); !s) return s.error();
+  auto origin = r.str();
+  if (!origin) return origin.error();
+  auto epoch = r.u64();
+  if (!epoch) return epoch.error();
+  auto seq = r.u64();
+  if (!seq) return seq.error();
+  auto payload = r.var_bytes();
+  if (!payload) return payload.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+  return GroupDataPayload{*std::move(origin), *epoch, *seq,
+                          *std::move(payload)};
+}
+
+}  // namespace enclaves::wire

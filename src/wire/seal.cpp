@@ -1,0 +1,54 @@
+#include "wire/seal.h"
+
+#include "wire/codec.h"
+
+namespace enclaves::wire {
+
+Bytes envelope_aad(Label label, std::string_view sender,
+                   std::string_view recipient) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(label));
+  w.str(sender);
+  w.str(recipient);
+  return std::move(w).take();
+}
+
+Bytes seal_body(const crypto::Aead& aead, BytesView key, Rng& rng,
+                Label label, std::string_view sender,
+                std::string_view recipient, BytesView plaintext) {
+  Bytes nonce = rng.bytes(crypto::Aead::kNonceSize);
+  Bytes aad = envelope_aad(label, sender, recipient);
+  Bytes ct = aead.seal(key, nonce, aad, plaintext);
+  Bytes body = std::move(nonce);
+  append(body, ct);
+  return body;
+}
+
+Result<Bytes> open_body(const crypto::Aead& aead, BytesView key,
+                        Label label, std::string_view sender,
+                        std::string_view recipient, BytesView body) {
+  if (body.size() < crypto::Aead::kNonceSize + crypto::Aead::kTagSize)
+    return make_error(Errc::truncated, "sealed body too short");
+  BytesView nonce = body.subspan(0, crypto::Aead::kNonceSize);
+  BytesView ct = body.subspan(crypto::Aead::kNonceSize);
+  Bytes aad = envelope_aad(label, sender, recipient);
+  return aead.open(key, nonce, aad, ct);
+}
+
+Envelope make_sealed(const crypto::Aead& aead, BytesView key, Rng& rng,
+                     Label label, std::string_view sender,
+                     std::string_view recipient, BytesView plaintext) {
+  Envelope e;
+  e.label = label;
+  e.sender = std::string(sender);
+  e.recipient = std::string(recipient);
+  e.body = seal_body(aead, key, rng, label, sender, recipient, plaintext);
+  return e;
+}
+
+Result<Bytes> open_sealed(const crypto::Aead& aead, BytesView key,
+                          const Envelope& e) {
+  return open_body(aead, key, e.label, e.sender, e.recipient, e.body);
+}
+
+}  // namespace enclaves::wire

@@ -1,0 +1,69 @@
+// The attack matrix (E8–E11): every Section 2.3 attack must SUCCEED against
+// the legacy protocol and be BLOCKED by the intrusion-tolerant protocol.
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.h"
+
+namespace enclaves::adversary {
+namespace {
+
+class AttackMatrix : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttackMatrix, ForgedDenial) {
+  EXPECT_TRUE(forged_denial_legacy(GetParam()).attacker_succeeded);
+  EXPECT_FALSE(forged_denial_improved(GetParam()).attacker_succeeded);
+}
+
+TEST_P(AttackMatrix, MemRemovedForgery) {
+  EXPECT_TRUE(mem_removed_forgery_legacy(GetParam()).attacker_succeeded);
+  EXPECT_FALSE(mem_removed_forgery_improved(GetParam()).attacker_succeeded);
+}
+
+TEST_P(AttackMatrix, OldKeyReplay) {
+  EXPECT_TRUE(old_key_replay_legacy(GetParam()).attacker_succeeded);
+  EXPECT_FALSE(old_key_replay_improved(GetParam()).attacker_succeeded);
+}
+
+TEST_P(AttackMatrix, ForgedClose) {
+  EXPECT_TRUE(forged_close_legacy(GetParam()).attacker_succeeded);
+  EXPECT_FALSE(forged_close_improved(GetParam()).attacker_succeeded);
+}
+
+TEST_P(AttackMatrix, SessionHijack) {
+  // Both protocols use per-session keys, so the pure old-session replay is
+  // absorbed by both; the improved protocol must also absorb it with the
+  // old key PUBLISHED (Oops), which legacy has no analogue for.
+  EXPECT_FALSE(session_hijack_legacy(GetParam()).attacker_succeeded);
+  EXPECT_FALSE(session_hijack_improved(GetParam()).attacker_succeeded);
+}
+
+TEST_P(AttackMatrix, DataReplay) {
+  EXPECT_TRUE(data_replay_legacy(GetParam()).attacker_succeeded);
+  EXPECT_FALSE(data_replay_improved(GetParam()).attacker_succeeded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttackMatrix,
+                         ::testing::Values(1u, 42u, 31337u, 777u, 2026u));
+
+TEST(AttackSuite, RunAllProducesFullMatrix) {
+  auto reports = run_all_attacks(7);
+  EXPECT_EQ(reports.size(), 12u);
+  int legacy_wins = 0, improved_wins = 0;
+  for (const auto& r : reports) {
+    if (r.attacker_succeeded && r.protocol == "legacy") ++legacy_wins;
+    if (r.attacker_succeeded && r.protocol == "intrusion-tolerant")
+      ++improved_wins;
+  }
+  EXPECT_EQ(legacy_wins, 5) << format_attack_matrix(reports);
+  EXPECT_EQ(improved_wins, 0) << format_attack_matrix(reports);
+}
+
+TEST(AttackSuite, MatrixFormatterMentionsEveryAttack) {
+  auto reports = run_all_attacks(7);
+  std::string table = format_attack_matrix(reports);
+  for (const auto& r : reports)
+    EXPECT_NE(table.find(r.attack), std::string::npos) << r.attack;
+}
+
+}  // namespace
+}  // namespace enclaves::adversary

@@ -1,0 +1,206 @@
+// FileDrop: codec, chunking/reassembly, integrity verification, interleaved
+// transfers, hostile input, memory caps.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "app/file_drop.h"
+#include "core/leader.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+namespace enclaves::app {
+namespace {
+
+TEST(FileCodec, OfferRoundTrip) {
+  FileOffer o{42, "paper.pdf", 123456, 4,
+              crypto::Sha256::hash(to_bytes("x"))};
+  auto back = decode_file_message(encode(o));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<FileOffer>(*back), o);
+}
+
+TEST(FileCodec, ChunkRoundTrip) {
+  FileChunk c{42, 3, to_bytes("chunk data")};
+  auto back = decode_file_message(encode(c));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::get<FileChunk>(*back), c);
+}
+
+TEST(FileCodec, GarbageRejected) {
+  EXPECT_FALSE(decode_file_message(to_bytes("?")).ok());
+  EXPECT_FALSE(decode_file_message({}).ok());
+}
+
+struct DropWorld {
+  explicit DropWorld(std::uint64_t seed, std::size_t chunk_size = 1024)
+      : rng(seed),
+        leader(core::LeaderConfig{"L", core::RekeyPolicy::strict()}, rng),
+        chunk_size_(chunk_size) {
+    leader.set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
+  }
+
+  FileDrop& add(const std::string& id) {
+    auto pa = crypto::LongTermKey::random(rng);
+    EXPECT_TRUE(leader.register_member(id, pa).ok());
+    auto m = std::make_unique<core::Member>(id, "L", pa, rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    FileDrop::Options options;
+    options.chunk_size = chunk_size_;
+    auto drop = std::make_unique<FileDrop>(*raw, options);
+    auto* drop_raw = drop.get();
+    members[id] = std::move(m);
+    drops[id] = std::move(drop);
+    EXPECT_TRUE(raw->join().ok());
+    net.run();
+    return *drop_raw;
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  core::Leader leader;
+  std::size_t chunk_size_;
+  std::map<std::string, std::unique_ptr<core::Member>> members;
+  std::map<std::string, std::unique_ptr<FileDrop>> drops;
+};
+
+TEST(FileDropApp, SmallFileArrivesVerified) {
+  DropWorld w(1);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  std::vector<FileDrop::Received> got;
+  bob.on_file = [&got](const FileDrop::Received& r) { got.push_back(r); };
+
+  Bytes content = to_bytes("hello, this is a small file");
+  ASSERT_TRUE(alice.send_file("note.txt", content).ok());
+  w.net.run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].origin, "alice");
+  EXPECT_EQ(got[0].name, "note.txt");
+  EXPECT_EQ(got[0].content, content);
+  EXPECT_EQ(bob.inflight(), 0u);
+}
+
+TEST(FileDropApp, MultiChunkFileReassembles) {
+  DropWorld w(2, /*chunk_size=*/100);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  Bytes content = w.rng.bytes(1050);  // 11 chunks, last one partial
+  std::vector<FileDrop::Received> got;
+  bob.on_file = [&got](const FileDrop::Received& r) { got.push_back(r); };
+  ASSERT_TRUE(alice.send_file("blob.bin", content).ok());
+  w.net.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].content, content);
+}
+
+TEST(FileDropApp, EmptyFileWorks) {
+  DropWorld w(3);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  std::vector<FileDrop::Received> got;
+  bob.on_file = [&got](const FileDrop::Received& r) { got.push_back(r); };
+  ASSERT_TRUE(alice.send_file("empty", {}).ok());
+  w.net.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got[0].content.empty());
+}
+
+TEST(FileDropApp, InterleavedTransfersBothComplete) {
+  DropWorld w(4, /*chunk_size=*/64);
+  auto& alice = w.add("alice");
+  auto& carol = w.add("carol");
+  auto& bob = w.add("bob");
+  std::map<std::string, Bytes> got;
+  bob.on_file = [&got](const FileDrop::Received& r) {
+    got[r.origin + "/" + r.name] = r.content;
+  };
+
+  Bytes f1 = w.rng.bytes(300), f2 = w.rng.bytes(500);
+  // Queue both transfers before any delivery: chunks interleave on the wire.
+  ASSERT_TRUE(alice.send_file("a.bin", f1).ok());
+  ASSERT_TRUE(carol.send_file("c.bin", f2).ok());
+  w.net.run();
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got["alice/a.bin"], f1);
+  EXPECT_EQ(got["carol/c.bin"], f2);
+}
+
+TEST(FileDropApp, CorruptedChunkDiscardsTransfer) {
+  DropWorld w(5, /*chunk_size=*/64);
+  auto& bob = w.add("bob");
+  auto& mallory_member = *w.members["bob"];  // unused; keep bob honest
+  (void)mallory_member;
+  w.add("alice");
+
+  std::vector<FileDrop::Received> got;
+  bob.on_file = [&got](const FileDrop::Received& r) { got.push_back(r); };
+
+  // A transfer whose chunks do not match the announced digest: forge the
+  // offer/chunks directly through alice's member (an insider shipping
+  // inconsistent data).
+  Bytes real = w.rng.bytes(128);
+  FileOffer offer{99, "evil.bin", real.size(), 2, crypto::Sha256::hash(real)};
+  ASSERT_TRUE(w.members["alice"]->send_data(encode(offer)).ok());
+  FileChunk c0{99, 0, Bytes(real.begin(), real.begin() + 64)};
+  FileChunk c1{99, 1, w.rng.bytes(64)};  // WRONG content
+  ASSERT_TRUE(w.members["alice"]->send_data(encode(c0)).ok());
+  ASSERT_TRUE(w.members["alice"]->send_data(encode(c1)).ok());
+  w.net.run();
+
+  EXPECT_TRUE(got.empty()) << "digest mismatch must suppress delivery";
+  EXPECT_GE(bob.discarded_transfers(), 1u);
+  EXPECT_EQ(bob.inflight(), 0u);
+}
+
+TEST(FileDropApp, OutOfRangeChunkIndexDiscards) {
+  DropWorld w(6);
+  auto& bob = w.add("bob");
+  w.add("alice");
+  FileOffer offer{7, "x", 10, 1, crypto::Sha256::hash(Bytes(10, 1))};
+  ASSERT_TRUE(w.members["alice"]->send_data(encode(offer)).ok());
+  FileChunk bad{7, 5, Bytes(10, 1)};  // index 5 of 1
+  ASSERT_TRUE(w.members["alice"]->send_data(encode(bad)).ok());
+  w.net.run();
+  EXPECT_GE(bob.discarded_transfers(), 1u);
+  EXPECT_EQ(bob.inflight(), 0u);
+}
+
+TEST(FileDropApp, OverflowingAnnouncedSizeDiscards) {
+  DropWorld w(7, /*chunk_size=*/64);
+  auto& bob = w.add("bob");
+  w.add("alice");
+  // Offer claims 10 bytes but ships 64+64: buffered > total_size.
+  FileOffer offer{8, "liar", 10, 2, crypto::Sha256::hash(Bytes(10, 0))};
+  ASSERT_TRUE(w.members["alice"]->send_data(encode(offer)).ok());
+  ASSERT_TRUE(w.members["alice"]->send_data(
+      encode(FileChunk{8, 0, Bytes(64, 0)})).ok());
+  ASSERT_TRUE(w.members["alice"]->send_data(
+      encode(FileChunk{8, 1, Bytes(64, 0)})).ok());
+  w.net.run();
+  EXPECT_GE(bob.discarded_transfers(), 1u);
+  EXPECT_EQ(bob.inflight(), 0u);
+}
+
+TEST(FileDropApp, ChunkWithoutOfferIgnored) {
+  DropWorld w(8);
+  auto& bob = w.add("bob");
+  w.add("alice");
+  ASSERT_TRUE(w.members["alice"]->send_data(
+      encode(FileChunk{1234, 0, Bytes(16, 2)})).ok());
+  w.net.run();
+  EXPECT_EQ(bob.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace enclaves::app

@@ -1,0 +1,292 @@
+// Legacy (Section 2.2) protocol: honest-path behaviour, plus unit-level
+// demonstrations that the documented vulnerabilities V1–V4 are present in
+// the baseline (the full attack scenarios live in attacks_test.cpp).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "legacy/legacy_leader.h"
+#include "legacy/legacy_member.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+#include "wire/legacy_payloads.h"
+#include "wire/seal.h"
+
+namespace enclaves::legacy {
+namespace {
+
+struct World {
+  explicit World(std::uint64_t seed,
+                 core::RekeyPolicy policy = core::RekeyPolicy::manual())
+      : rng(seed), leader(LegacyLeaderConfig{"L", policy}, rng) {
+    leader.set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
+  }
+
+  LegacyMember& add(const std::string& id) {
+    auto pa = crypto::LongTermKey::random(rng);
+    EXPECT_TRUE(leader.register_member(id, pa).ok());
+    auto m = std::make_unique<LegacyMember>(id, "L", pa, rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    members[id] = std::move(m);
+    return *raw;
+  }
+
+  void join(const std::string& id) {
+    ASSERT_TRUE(members[id]->join().ok());
+    net.run();
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  LegacyLeader leader;
+  std::map<std::string, std::unique_ptr<LegacyMember>> members;
+};
+
+TEST(Legacy, HonestJoinWorks) {
+  World w(1);
+  auto& alice = w.add("alice");
+  w.join("alice");
+  EXPECT_TRUE(alice.connected());
+  EXPECT_TRUE(w.leader.is_member("alice"));
+  EXPECT_EQ(alice.epoch(), w.leader.epoch());
+  EXPECT_TRUE(equal(alice.group_key().view(), w.leader.group_key().view()));
+}
+
+TEST(Legacy, UnregisteredUserDenied) {
+  World w(2);
+  auto pa = crypto::LongTermKey::random(w.rng);
+  LegacyMember eve("eve", "L", pa, w.rng);
+  eve.set_send([&w](const std::string& to, wire::Envelope e) {
+    w.net.send(to, std::move(e));
+  });
+  w.net.attach("eve", [&eve](const wire::Envelope& e) { eve.handle(e); });
+  ASSERT_TRUE(eve.join().ok());
+  w.net.run();
+  EXPECT_TRUE(eve.was_denied());
+}
+
+TEST(Legacy, TwoMembersSeeEachOther) {
+  World w(3);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  EXPECT_EQ(alice.view(), (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_EQ(bob.view(), (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(Legacy, RekeyDistributesNewKey) {
+  World w(4);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  std::uint64_t e1 = alice.epoch();
+  w.leader.rekey();
+  w.net.run();
+  EXPECT_EQ(alice.epoch(), e1 + 1);
+  EXPECT_EQ(bob.epoch(), e1 + 1);
+  EXPECT_TRUE(equal(alice.group_key().view(), bob.group_key().view()));
+  EXPECT_EQ(alice.rekeys_accepted(), 1u);
+}
+
+TEST(Legacy, LeaveAnnouncedToGroup) {
+  World w(5);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  ASSERT_TRUE(bob.leave().ok());
+  w.net.run();
+  EXPECT_FALSE(w.leader.is_member("bob"));
+  EXPECT_EQ(alice.view(), std::vector<std::string>{"alice"});
+}
+
+TEST(Legacy, ExpelWorks) {
+  World w(6);
+  w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  ASSERT_TRUE(w.leader.expel("bob").ok());
+  w.net.run();
+  EXPECT_FALSE(w.leader.is_member("bob"));
+  (void)bob;
+}
+
+TEST(Legacy, DataPlaneRelays) {
+  World w(7);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  std::vector<std::string> got;
+  bob.set_event_handler([&got](const core::GroupEvent& ev) {
+    if (const auto* d = std::get_if<core::DataReceived>(&ev))
+      got.push_back(enclaves::to_string(d->payload));
+  });
+  ASSERT_TRUE(alice.send_data(to_bytes("hi")).ok());
+  w.net.run();
+  EXPECT_EQ(got, std::vector<std::string>{"hi"});
+}
+
+TEST(Legacy, JoinerLearnsExistingMembers) {
+  World w(13);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  // Bob was told about alice via mem_added notices on join.
+  EXPECT_EQ(bob.view(), (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_EQ(alice.view(), (std::vector<std::string>{"alice", "bob"}));
+}
+
+TEST(Legacy, ExpelAnnouncedToSurvivors) {
+  World w(14);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  ASSERT_TRUE(w.leader.expel("bob").ok());
+  w.net.run();
+  EXPECT_EQ(alice.view(), std::vector<std::string>{"alice"});
+  EXPECT_FALSE(w.leader.is_member("bob"));
+  (void)bob;
+}
+
+TEST(Legacy, OnJoinRekeyPolicyDistributesNewKeys) {
+  World w(15, core::RekeyPolicy{true, false, 0});
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  std::uint64_t e1 = alice.epoch();
+  w.join("bob");
+  EXPECT_GT(alice.epoch(), e1) << "join triggered a rekey";
+  EXPECT_EQ(alice.epoch(), bob.epoch());
+  EXPECT_TRUE(equal(alice.group_key().view(), bob.group_key().view()));
+}
+
+TEST(Legacy, GarbageStormIgnored) {
+  World w(16);
+  auto& alice = w.add("alice");
+  w.join("alice");
+  DeterministicRng junk(5);
+  for (int i = 0; i < 100; ++i) {
+    wire::Envelope e;
+    e.label = static_cast<wire::Label>(32 + junk.below(12));
+    // Exclude LegacyReqClose: it is PLAINTEXT, so a random envelope with
+    // that label is not garbage but a fully valid forged eviction — the
+    // vulnerability demonstrated in PlaintextCloseForgeable.
+    if (e.label == wire::Label::LegacyReqClose)
+      e.label = wire::Label::LegacyAuthInit;
+    e.sender = junk.below(2) == 0 ? "alice" : "ghost";
+    e.recipient = junk.below(2) == 0 ? "L" : "alice";
+    e.body = junk.bytes(junk.below(100));
+    w.net.send(e.recipient == "L" ? "L" : "alice", e);
+  }
+  w.net.run();
+  // Honest state survives garbage on the CRYPTOGRAPHIC surface even of
+  // the weak protocol: random bytes never authenticate. (Its plaintext
+  // surface is a different story — see PlaintextCloseForgeable.)
+  EXPECT_TRUE(alice.connected());
+  EXPECT_TRUE(w.leader.is_member("alice"));
+}
+
+// --- Vulnerability surface, unit level --------------------------------
+
+TEST(LegacyVuln, V1ForgedDenialBelieved) {
+  World w(8);
+  auto& alice = w.add("alice");
+  ASSERT_TRUE(alice.join().ok());
+  // A plaintext denial from nowhere, delivered before the leader's reply.
+  wire::Envelope denial{wire::Label::LegacyConnectionDenied, "L", "alice",
+                        {}};
+  w.net.inject("alice", denial);
+  w.net.run();
+  EXPECT_TRUE(alice.was_denied());
+  EXPECT_FALSE(alice.connected());
+}
+
+TEST(LegacyVuln, V2ReplayedNewKeyAccepted) {
+  World w(9);
+  auto& alice = w.add("alice");
+  w.join("alice");
+  w.leader.rekey();
+  w.net.run();
+  ASSERT_EQ(alice.rekeys_accepted(), 1u);
+  // Find and replay the recorded new_key envelope verbatim.
+  const net::Packet* rekey_packet = nullptr;
+  for (const auto& p : w.net.log()) {
+    if (p.envelope.label == wire::Label::LegacyNewKey) rekey_packet = &p;
+  }
+  ASSERT_NE(rekey_packet, nullptr);
+  auto copy = *rekey_packet;
+  w.net.inject(copy.to, copy.envelope);
+  w.net.run();
+  EXPECT_EQ(alice.rekeys_accepted(), 2u) << "replay accepted: V2 present";
+}
+
+TEST(LegacyVuln, V3MembershipNoticeForgeableUnderKg) {
+  World w(10);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  ASSERT_EQ(bob.view(), (std::vector<std::string>{"alice", "bob"}));
+  // Anyone holding Kg (here: alice's copy) can forge the leader's notice.
+  wire::LegacyMembershipPayload lie{"alice"};
+  auto forged = wire::make_sealed(crypto::default_aead(),
+                                  alice.group_key().view(), w.rng,
+                                  wire::Label::LegacyMemRemoved, "L", "bob",
+                                  wire::encode(lie));
+  w.net.inject("bob", forged);
+  w.net.run();
+  EXPECT_EQ(bob.view(), std::vector<std::string>{"bob"})
+      << "forged removal believed: V3 present";
+}
+
+TEST(LegacyVuln, V4DataReplayDelivered) {
+  World w(11);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  w.join("alice");
+  w.join("bob");
+  int received = 0;
+  bob.set_event_handler([&received](const core::GroupEvent& ev) {
+    if (std::holds_alternative<core::DataReceived>(ev)) ++received;
+  });
+  ASSERT_TRUE(alice.send_data(to_bytes("pay $5")).ok());
+  w.net.run();
+  const net::Packet* relay = nullptr;
+  for (const auto& p : w.net.log()) {
+    if (p.envelope.label == wire::Label::GroupData && p.to == "bob")
+      relay = &p;
+  }
+  ASSERT_NE(relay, nullptr);
+  auto copy = *relay;
+  w.net.inject(copy.to, copy.envelope);
+  w.net.run();
+  EXPECT_EQ(received, 2) << "duplicate delivered: V4 present";
+}
+
+TEST(LegacyVuln, PlaintextCloseForgeable) {
+  World w(12);
+  w.add("alice");
+  w.join("alice");
+  wire::Envelope forged{wire::Label::LegacyReqClose, "alice", "L", {}};
+  w.net.inject("L", forged);
+  w.net.run();
+  EXPECT_FALSE(w.leader.is_member("alice"))
+      << "leader evicted alice on unauthenticated req_close";
+}
+
+}  // namespace
+}  // namespace enclaves::legacy

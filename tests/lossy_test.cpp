@@ -1,0 +1,204 @@
+// Lossy-transport convergence: with a tap dropping packets, the
+// byte-identical retransmission layer (Leader::tick / Member::tick +
+// idempotent duplicate answers in both FSMs) must still bring every member
+// into a consistent session — without weakening any security property
+// (duplicates answer from caches; nothing new ever hits the wire).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+namespace enclaves::core {
+namespace {
+
+struct LossyWorld {
+  LossyWorld(std::uint64_t seed, std::uint32_t drop_percent)
+      : rng(seed),
+        drop_rng(seed ^ 0xD20),
+        leader(LeaderConfig{"L", RekeyPolicy::strict()}, rng) {
+    leader.set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
+    net.set_tap([this, drop_percent](const net::Packet&) {
+      return drop_rng.below(100) < drop_percent ? net::TapVerdict::drop
+                                                : net::TapVerdict::deliver;
+    });
+  }
+
+  Member& add(const std::string& id) {
+    auto pa = crypto::LongTermKey::random(rng);
+    EXPECT_TRUE(leader.register_member(id, pa).ok());
+    auto m = std::make_unique<Member>(id, "L", pa, rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    members[id] = std::move(m);
+    return *raw;
+  }
+
+  // One "time step": drain the network, then fire all retransmit timers.
+  void step() {
+    net.run();
+    leader.tick();
+    for (auto& [id, m] : members) m->tick();
+    net.run();
+  }
+
+  bool converged() const {
+    for (const auto& [id, m] : members) {
+      if (leader.is_member(id)) {
+        // The leader must have nothing in flight or queued for this member,
+        // and the member must hold the current epoch.
+        const LeaderSession* s = leader.session(id);
+        if (!s || s->state() != LeaderSession::State::connected ||
+            s->queue_depth() != 0)
+          return false;
+        if (!m->connected() || m->epoch() != leader.epoch()) return false;
+      }
+    }
+    return true;
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  DeterministicRng drop_rng;
+  Leader leader;
+  std::map<std::string, std::unique_ptr<Member>> members;
+};
+
+class LossyJoin
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(LossyJoin, AllMembersEventuallyJoinAndAgree) {
+  auto [seed, drop_percent] = GetParam();
+  LossyWorld w(seed, static_cast<std::uint32_t>(drop_percent));
+  const int kMembers = 4;
+  for (int i = 0; i < kMembers; ++i) {
+    auto& m = w.add("m" + std::to_string(i));
+    ASSERT_TRUE(m.join().ok());
+    // Drive ticks until this member is fully in (sequential joins keep the
+    // scenario deterministic and bound the retransmission interleavings).
+    for (int t = 0; t < 400 && !(m.connected() && m.has_group_key() &&
+                                 m.epoch() == w.leader.epoch());
+         ++t) {
+      w.step();
+    }
+    ASSERT_TRUE(m.connected()) << "drop=" << drop_percent << " seed=" << seed;
+  }
+  for (int t = 0; t < 400 && !w.converged(); ++t) w.step();
+  EXPECT_TRUE(w.converged());
+  EXPECT_EQ(w.leader.member_count(), static_cast<std::size_t>(kMembers));
+
+  // Every view must equal the leader's membership after quiescence.
+  auto expect = w.leader.members();
+  for (const auto& [id, m] : w.members) EXPECT_EQ(m->view(), expect) << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropRates, LossyJoin,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values(10, 30, 50)));
+
+TEST(Lossy, AdminFanoutSurvivesDrops) {
+  LossyWorld w(99, 0);  // start reliable for the joins
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(bob.join().ok());
+  w.net.run();
+  ASSERT_TRUE(alice.connected() && bob.connected());
+
+  // Now 40% loss while the leader pushes notices and rekeys.
+  DeterministicRng drop_rng(4242);
+  w.net.set_tap([&drop_rng](const net::Packet&) {
+    return drop_rng.below(100) < 40 ? net::TapVerdict::drop
+                                    : net::TapVerdict::deliver;
+  });
+  for (int i = 0; i < 5; ++i) w.leader.broadcast_notice("n" + std::to_string(i));
+  w.leader.rekey();
+  for (int t = 0; t < 600 && !w.converged(); ++t) w.step();
+  EXPECT_TRUE(w.converged());
+  EXPECT_EQ(alice.epoch(), w.leader.epoch());
+  EXPECT_EQ(bob.epoch(), w.leader.epoch());
+
+  // No duplicates despite all the retransmission: each notice at most once.
+  std::map<std::string, int> seen;
+  for (const auto& body : alice.rcv_log()) {
+    if (const auto* n = std::get_if<wire::Notice>(&body)) ++seen[n->text];
+  }
+  for (const auto& [text, count] : seen) EXPECT_EQ(count, 1) << text;
+}
+
+TEST(Lossy, LostCloseEventuallyProcessed) {
+  LossyWorld w(7, 0);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(bob.join().ok());
+  w.net.run();
+
+  // Drop EVERYTHING once: the first ReqClose dies on the wire.
+  bool dropped_one = false;
+  w.net.set_tap([&dropped_one](const net::Packet& p) {
+    if (!dropped_one && p.envelope.label == wire::Label::ReqClose) {
+      dropped_one = true;
+      return net::TapVerdict::drop;
+    }
+    return net::TapVerdict::deliver;
+  });
+  ASSERT_TRUE(alice.leave().ok());
+  w.net.run();
+  EXPECT_TRUE(w.leader.is_member("alice")) << "close was dropped";
+
+  // Ticks re-send the close; the leader processes it and informs bob.
+  for (int t = 0; t < 10 && w.leader.is_member("alice"); ++t) w.step();
+  EXPECT_FALSE(w.leader.is_member("alice"));
+  EXPECT_EQ(bob.view(), std::vector<std::string>{"bob"});
+}
+
+TEST(Lossy, RetransmitsAreByteIdentical) {
+  // The security argument for the liveness layer: retransmissions add no
+  // new ciphertext. Drop the first AuthKeyDist, capture both transmissions,
+  // and compare.
+  LossyWorld w(11, 0);
+  auto& alice = w.add("alice");
+  int keydist_seen = 0;
+  std::vector<Bytes> bodies;
+  w.net.set_tap([&](const net::Packet& p) {
+    if (p.envelope.label == wire::Label::AuthKeyDist) {
+      bodies.push_back(p.envelope.body);
+      if (++keydist_seen == 1) return net::TapVerdict::drop;
+    }
+    return net::TapVerdict::deliver;
+  });
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  EXPECT_FALSE(alice.connected());
+  for (int t = 0; t < 10 && !alice.connected(); ++t) w.step();
+  ASSERT_TRUE(alice.connected());
+  ASSERT_GE(bodies.size(), 2u);
+  EXPECT_EQ(bodies[0], bodies[1]) << "retransmit must be byte-identical";
+}
+
+TEST(Lossy, TickIsQuietWhenNothingPending) {
+  LossyWorld w(13, 0);
+  auto& alice = w.add("alice");
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(alice.connected());
+  EXPECT_EQ(w.leader.tick(), 0u);
+  EXPECT_EQ(alice.tick(), 0u);
+}
+
+}  // namespace
+}  // namespace enclaves::core

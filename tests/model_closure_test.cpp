@@ -1,0 +1,169 @@
+// Parts / Analz / Synth / Ideal: the algebraic laws the paper's proofs rest
+// on (Millen-Rueß), checked on concrete field structures.
+#include <gtest/gtest.h>
+
+#include "model/closure.h"
+
+namespace enclaves::model {
+namespace {
+
+struct ClosureFixture : ::testing::Test {
+  ClosureFixture() {
+    a = pool.agent(0);
+    l = pool.agent(1);
+    pa = pool.long_term_key(0);
+    ka = pool.session_key(0);
+    kb = pool.session_key(1);
+    n1 = pool.nonce(1);
+    n2 = pool.nonce(2);
+  }
+  FieldPool pool;
+  FieldId a, l, pa, ka, kb, n1, n2;
+};
+
+TEST_F(ClosureFixture, PartsOpensEverything) {
+  // Parts({[A, {N1}_Ka]}) = the field, the pair parts, and N1.
+  FieldId inner = pool.enc(n1, ka);
+  FieldId msg = pool.pair(a, inner);
+  FieldSet s({msg});
+  FieldSet p = parts(pool, s);
+  EXPECT_TRUE(p.contains(msg));
+  EXPECT_TRUE(p.contains(a));
+  EXPECT_TRUE(p.contains(inner));
+  EXPECT_TRUE(p.contains(n1)) << "Parts opens encryptions unconditionally";
+  EXPECT_FALSE(p.contains(ka)) << "the key is not a part of the encryption";
+}
+
+TEST_F(ClosureFixture, AnalzRespectsEncryption) {
+  FieldId msg = pool.enc(n1, ka);
+  FieldSet without_key({msg});
+  EXPECT_FALSE(analz(pool, without_key).contains(n1));
+  FieldSet with_key({msg, ka});
+  EXPECT_TRUE(analz(pool, with_key).contains(n1));
+}
+
+TEST_F(ClosureFixture, AnalzUnlocksWhenKeyArrivesViaAnalysis) {
+  // The key itself is buried in a pair: analz must find it and then open
+  // the encryption seen EARLIER in the iteration.
+  FieldId locked = pool.enc(n1, ka);
+  FieldId keybox = pool.pair(a, ka);
+  FieldSet s({locked, keybox});
+  FieldSet out = analz(pool, s);
+  EXPECT_TRUE(out.contains(ka));
+  EXPECT_TRUE(out.contains(n1));
+}
+
+TEST_F(ClosureFixture, AnalzChainsThroughNestedEncryption) {
+  // {Ka}_Kb and {N1}_Ka with Kb known: both layers open.
+  FieldId wrapped_key = pool.enc(ka, kb);
+  FieldId secret = pool.enc(n1, ka);
+  FieldSet s({wrapped_key, secret, kb});
+  FieldSet out = analz(pool, s);
+  EXPECT_TRUE(out.contains(ka));
+  EXPECT_TRUE(out.contains(n1));
+}
+
+TEST_F(ClosureFixture, AnalzIsIdempotent) {
+  FieldId msg = pool.pair(pool.enc(n1, ka), ka);
+  FieldSet s({msg});
+  FieldSet once = analz(pool, s);
+  FieldSet twice = analz(pool, once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(ClosureFixture, SynthAgentsArePublic) {
+  FieldSet empty;
+  EXPECT_TRUE(synth_member(pool, a, empty));
+  EXPECT_FALSE(synth_member(pool, n1, empty));
+  EXPECT_FALSE(synth_member(pool, ka, empty));
+}
+
+TEST_F(ClosureFixture, SynthComposesPairsAndEncs) {
+  FieldSet s({n1, ka});
+  EXPECT_TRUE(synth_member(pool, pool.pair(a, n1), s));
+  EXPECT_TRUE(synth_member(pool, pool.enc(pool.pair(a, n1), ka), s));
+  EXPECT_FALSE(synth_member(pool, pool.enc(n1, kb), s))
+      << "cannot encrypt under an unknown key";
+  EXPECT_FALSE(synth_member(pool, pool.pair(n1, n2), s))
+      << "cannot conjure an unknown nonce";
+}
+
+TEST_F(ClosureFixture, SynthAllowsVerbatimReplay) {
+  FieldId sealed = pool.enc(n1, ka);  // key unknown, but field possessed
+  FieldSet s({sealed});
+  EXPECT_TRUE(synth_member(pool, sealed, s));
+  EXPECT_TRUE(synth_member(pool, pool.pair(a, sealed), s))
+      << "replayed ciphertext may be embedded in new messages";
+}
+
+TEST_F(ClosureFixture, IdealMembership) {
+  // S = {Ka, Pa}; per Section 5.2.
+  FieldSet s({ka, pa});
+  EXPECT_TRUE(ideal_member(pool, ka, s));
+  EXPECT_TRUE(ideal_member(pool, pool.pair(a, ka), s))
+      << "a pair containing Ka leaks Ka";
+  EXPECT_TRUE(ideal_member(pool, pool.enc(ka, kb), s))
+      << "{Ka}_Kb is in the ideal: Kb is outside S";
+  EXPECT_FALSE(ideal_member(pool, pool.enc(ka, pa), s))
+      << "{Ka}_Pa is SAFE: it only opens with a key in S";
+  EXPECT_FALSE(ideal_member(pool, pool.enc(n1, ka), s))
+      << "{N1}_Ka does not leak Ka";
+  EXPECT_FALSE(ideal_member(pool, n1, s));
+}
+
+TEST_F(ClosureFixture, IdealPartsLemma) {
+  // Ideal-Parts Lemma: Parts(E) ∩ S = ∅ ⇒ E ⊆ C(S).
+  FieldSet s({ka, pa});
+  std::vector<FieldId> sample = {
+      pool.enc(pool.tuple({a, l, n1}), pa),       // AuthInitReq shape
+      pool.enc(pool.tuple({a, l, n1, n2}), ka),   // Ack shape
+      pool.pair(n1, n2),
+  };
+  for (FieldId f : sample) {
+    FieldSet e({f});
+    FieldSet p = parts(pool, e);
+    bool intersects = p.contains(ka) || p.contains(pa);
+    ASSERT_FALSE(intersects) << pool.show(f);
+    EXPECT_TRUE(coideal_member(pool, f, s)) << pool.show(f);
+  }
+}
+
+TEST_F(ClosureFixture, CoidealClosedUnderAnalz) {
+  // Property (3) of Section 5.2, spot-checked: analyzing a set of coideal
+  // fields only yields coideal fields.
+  FieldSet s({ka, pa});
+  FieldSet trace({
+      pool.enc(pool.tuple({a, l, n1}), pa),
+      pool.enc(pool.tuple({l, a, n1, n2, ka}), pa),  // AuthKeyDist: safe
+      pool.pair(a, pool.enc(n2, ka)),
+      kb,  // some other (compromised) key
+  });
+  for (FieldId f : trace) ASSERT_TRUE(coideal_member(pool, f, s));
+  FieldSet an = analz(pool, trace);
+  for (FieldId f : an)
+    EXPECT_TRUE(coideal_member(pool, f, s)) << pool.show(f);
+}
+
+TEST(FieldSetOps, InsertAndContains) {
+  FieldSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2u);
+  // Sorted iteration.
+  std::vector<FieldId> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<FieldId>{3, 5}));
+}
+
+TEST(FieldSetOps, ConstructorDedupsAndSorts) {
+  FieldSet s({9, 1, 9, 4, 1});
+  std::vector<FieldId> got(s.begin(), s.end());
+  EXPECT_EQ(got, (std::vector<FieldId>{1, 4, 9}));
+}
+
+}  // namespace
+}  // namespace enclaves::model

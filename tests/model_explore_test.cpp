@@ -1,0 +1,237 @@
+// Exhaustive exploration (Section 5 reproduction): with protocol checks in
+// place every invariant holds in every reachable state; the Figure 4 boxes
+// appear as expected; the forbidden C/NC shape never occurs.
+#include <gtest/gtest.h>
+
+#include "model/explorer.h"
+
+namespace enclaves::model {
+namespace {
+
+ExploreResult explore(ModelConfig cfg, std::size_t max_states = 400000) {
+  ProtocolModel model(cfg);
+  InvariantChecker checker(model);
+  Explorer explorer(model, checker);
+  return explorer.run(max_states);
+}
+
+std::string violations_text(const ExploreResult& r) {
+  std::string s;
+  for (const auto& v : r.violations) {
+    s += v.property + ": " + v.detail + "\n";
+  }
+  for (const auto& step : r.counterexample) s += "  -> " + step + "\n";
+  return s;
+}
+
+TEST(ModelExplore, OneSessionOneAdminHoldsAllInvariants) {
+  ModelConfig cfg;
+  cfg.max_joins = 1;
+  cfg.max_admins = 1;
+  auto r = explore(cfg);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(r.ok()) << violations_text(r);
+  EXPECT_GT(r.states_explored, 10u);
+}
+
+TEST(ModelExplore, TwoSessionsTwoAdminsHoldAllInvariants) {
+  // Two sessions means old session keys get Oops'd while the second session
+  // runs — the paper's central robustness claim.
+  ModelConfig cfg;
+  cfg.max_joins = 2;
+  cfg.max_admins = 2;
+  auto r = explore(cfg);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(r.ok()) << violations_text(r);
+}
+
+TEST(ModelExplore, ForbiddenBoxNeverReached) {
+  ModelConfig cfg;
+  cfg.max_joins = 2;
+  cfg.max_admins = 1;
+  auto r = explore(cfg);
+  EXPECT_EQ(r.box_visits.count(Box::unreachable_c_nc), 0u)
+      << "C/NC must be unreachable";
+}
+
+TEST(ModelExplore, ExpectedBoxesAreReached) {
+  ModelConfig cfg;
+  cfg.max_joins = 2;
+  cfg.max_admins = 2;
+  auto r = explore(cfg);
+  // The handshake spine of Figure 4.
+  for (Box b : {Box::q1_idle, Box::q2_joining, Box::q3_handshake,
+                Box::q4_half_open, Box::q5_in_session, Box::q6_admin_pending,
+                Box::q7_closing, Box::q12_ghost_session}) {
+    EXPECT_GT(r.box_visits[b], 0u) << box_name(b);
+  }
+  // Rejoin-while-closing boxes require two sessions.
+  EXPECT_GT(r.box_visits[Box::q9_rejoin_wait], 0u);
+}
+
+TEST(ModelExplore, DiagramEdgesIncludeHandshakeSpine) {
+  ModelConfig cfg;
+  cfg.max_joins = 1;
+  cfg.max_admins = 1;
+  auto r = explore(cfg);
+  auto has_edge = [&r](Box from, Box to) {
+    return r.box_edges.count({from, to}) > 0;
+  };
+  EXPECT_TRUE(has_edge(Box::q1_idle, Box::q2_joining)) << "A.join";
+  EXPECT_TRUE(has_edge(Box::q2_joining, Box::q3_handshake)) << "L responds";
+  EXPECT_TRUE(has_edge(Box::q3_handshake, Box::q4_half_open)) << "A connects";
+  EXPECT_TRUE(has_edge(Box::q4_half_open, Box::q5_in_session)) << "L accepts";
+  EXPECT_TRUE(has_edge(Box::q5_in_session, Box::q6_admin_pending))
+      << "L.send_admin";
+  EXPECT_TRUE(has_edge(Box::q6_admin_pending, Box::q5_in_session))
+      << "ack completes";
+}
+
+TEST(ModelExplore, TwoMembersHoldAllInvariantsIncludingIndependence) {
+  // The leader as "composition of separate transition systems, one for each
+  // user": with two honest members every per-member property must hold for
+  // both, plus cross-member key independence. Exhaustive at these bounds.
+  ModelConfig cfg;
+  cfg.members = 2;
+  cfg.max_joins = 1;
+  cfg.max_admins = 1;
+  auto r = explore(cfg);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(r.ok()) << violations_text(r);
+  EXPECT_GT(r.states_explored, 10000u);
+}
+
+TEST(ModelExplore, TwoMembersInterleavedAdminsSound) {
+  ModelConfig cfg;
+  cfg.members = 2;
+  cfg.max_joins = 1;
+  cfg.max_admins = 2;
+  auto r = explore(cfg, 200000);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(r.ok()) << violations_text(r);
+}
+
+TEST(InvariantChecker, DetectsSharedSessionKeyAcrossMembers) {
+  ModelConfig cfg;
+  cfg.members = 2;
+  ProtocolModel model(cfg);
+  InvariantChecker checker(model);
+  auto& pool = model.pool();
+  ModelState q = model.initial();
+  FieldId ka = pool.session_key(0);
+  q.leads[0] = {LeaderState::Kind::connected, pool.nonce(0), ka};
+  q.leads[1] = {LeaderState::Kind::connected, pool.nonce(1), ka};
+  q.trace.insert(ka);
+  bool found = false;
+  for (const auto& v : checker.check_globals(q))
+    found |= v.property == "key-independence";
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelExplore, IntruderFreshDisabledStillSound) {
+  ModelConfig cfg;
+  cfg.max_joins = 2;
+  cfg.max_admins = 1;
+  cfg.intruder_fresh = false;
+  auto r = explore(cfg);
+  EXPECT_TRUE(r.ok()) << violations_text(r);
+}
+
+TEST(ModelExplore, StateCapTruncatesGracefully) {
+  ModelConfig cfg;
+  cfg.max_joins = 2;
+  cfg.max_admins = 2;
+  ProtocolModel model(cfg);
+  InvariantChecker checker(model);
+  Explorer explorer(model, checker);
+  auto r = explorer.run(50);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.states_explored, 51u);
+}
+
+// --- Ablations: break the protocol, the checker must find the attack. ---
+// These use a locally modified model via the config switches wired into
+// ProtocolModel when available; until then we verify the checker itself by
+// feeding it hand-built bad states.
+
+TEST(InvariantChecker, DetectsLeakedSessionKeyState) {
+  ProtocolModel model(ModelConfig{});
+  InvariantChecker checker(model);
+  auto& pool = model.pool();
+
+  ModelState q = model.initial();
+  FieldId ka = pool.session_key(0);
+  FieldId n = pool.nonce(0);
+  q.lead() = {LeaderState::Kind::connected, n, ka};
+  q.usr() = {UserState::Kind::connected, n, ka};
+  q.trace.insert(ka);  // the in-use key sits naked on the wire
+  auto v = checker.check_globals(q);
+  bool found = false;
+  for (const auto& violation : v) found |= violation.property == "ka-secrecy";
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, DetectsAgreementFailure) {
+  ProtocolModel model(ModelConfig{});
+  InvariantChecker checker(model);
+  auto& pool = model.pool();
+  ModelState q = model.initial();
+  FieldId ka = pool.session_key(0), kb = pool.session_key(1);
+  FieldId n = pool.nonce(0);
+  q.usr() = {UserState::Kind::connected, n, ka};
+  q.lead() = {LeaderState::Kind::connected, n, kb};
+  q.trace.insert(ka);
+  q.trace.insert(kb);
+  auto v = checker.check_globals(q);
+  bool found = false;
+  for (const auto& violation : v) found |= violation.property == "agreement";
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, DetectsPrefixViolation) {
+  ProtocolModel model(ModelConfig{});
+  InvariantChecker checker(model);
+  auto& pool = model.pool();
+  ModelState q = model.initial();
+  q.snd[0] = {pool.nonce(1)};
+  q.rcv[0] = {pool.nonce(1), pool.nonce(1)};  // duplicate accepted
+  auto v = checker.check_globals(q);
+  bool found = false;
+  for (const auto& violation : v)
+    found |= violation.property == "rcv-prefix-snd";
+  EXPECT_TRUE(found);
+}
+
+TEST(InvariantChecker, DetectsPaInTrace) {
+  ProtocolModel model(ModelConfig{});
+  InvariantChecker checker(model);
+  ModelState q = model.initial();
+  q.trace.insert(model.Pa());
+  auto v = checker.check_globals(q);
+  ASSERT_FALSE(v.empty());
+  EXPECT_EQ(v[0].property, "pa-secrecy");
+}
+
+TEST(InvariantChecker, CleanInitialState) {
+  ProtocolModel model(ModelConfig{});
+  InvariantChecker checker(model);
+  ModelState q = model.initial();
+  EXPECT_TRUE(checker.check_all(q).empty());
+  EXPECT_EQ(checker.classify(q), Box::q1_idle);
+}
+
+TEST(ModelExplore, BoxNamesAreDistinct) {
+  std::set<std::string> names;
+  for (Box b : {Box::q1_idle, Box::q2_joining, Box::q3_handshake,
+                Box::q4_half_open, Box::q5_in_session, Box::q6_admin_pending,
+                Box::q7_closing, Box::q8_closing_admin, Box::q9_rejoin_wait,
+                Box::q10_rejoin_admin, Box::q12_ghost_session,
+                Box::q13_closed_early, Box::q14_rejoin_ghost,
+                Box::unreachable_c_nc}) {
+    names.insert(box_name(b));
+  }
+  EXPECT_EQ(names.size(), kBoxCount);
+}
+
+}  // namespace
+}  // namespace enclaves::model

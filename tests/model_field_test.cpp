@@ -1,0 +1,78 @@
+// FieldPool: hash-consing, construction, rendering.
+#include <gtest/gtest.h>
+
+#include "model/field.h"
+
+namespace enclaves::model {
+namespace {
+
+TEST(FieldPool, AtomsAreInterned) {
+  FieldPool pool;
+  EXPECT_EQ(pool.agent(0), pool.agent(0));
+  EXPECT_NE(pool.agent(0), pool.agent(1));
+  EXPECT_EQ(pool.nonce(5), pool.nonce(5));
+  EXPECT_NE(pool.nonce(5), pool.session_key(5));
+  EXPECT_NE(pool.long_term_key(0), pool.session_key(0));
+}
+
+TEST(FieldPool, CompositesAreInterned) {
+  FieldPool pool;
+  FieldId a = pool.agent(0), b = pool.agent(1);
+  EXPECT_EQ(pool.pair(a, b), pool.pair(a, b));
+  EXPECT_NE(pool.pair(a, b), pool.pair(b, a));
+  FieldId k = pool.long_term_key(0);
+  EXPECT_EQ(pool.enc(a, k), pool.enc(a, k));
+  EXPECT_NE(pool.enc(a, k), pool.enc(b, k));
+}
+
+TEST(FieldPool, TupleIsRightNested) {
+  FieldPool pool;
+  FieldId a = pool.agent(0), b = pool.agent(1), n = pool.nonce(0);
+  FieldId t = pool.tuple({a, b, n});
+  EXPECT_EQ(t, pool.pair(a, pool.pair(b, n)));
+  EXPECT_EQ(pool.tuple({a}), a);
+}
+
+TEST(FieldPool, KindPredicates) {
+  FieldPool pool;
+  FieldId a = pool.agent(0);
+  FieldId n = pool.nonce(0);
+  FieldId p = pool.long_term_key(0);
+  FieldId k = pool.session_key(0);
+  FieldId pr = pool.pair(a, n);
+  FieldId e = pool.enc(n, k);
+
+  EXPECT_TRUE(pool.is_atom(a) && pool.is_atom(n) && pool.is_atom(p) &&
+              pool.is_atom(k));
+  EXPECT_FALSE(pool.is_atom(pr) || pool.is_atom(e));
+  EXPECT_TRUE(pool.is_key(p) && pool.is_key(k));
+  EXPECT_FALSE(pool.is_key(n) || pool.is_key(a));
+  EXPECT_TRUE(pool.is_nonce(n));
+  EXPECT_TRUE(pool.is_session_key(k));
+  EXPECT_FALSE(pool.is_session_key(p));
+  EXPECT_TRUE(pool.is_pair(pr));
+  EXPECT_TRUE(pool.is_enc(e));
+}
+
+TEST(FieldPool, ShowRendersReadably) {
+  FieldPool pool;
+  std::vector<std::string> names = {"A", "L"};
+  FieldId a = pool.agent(0), l = pool.agent(1), n = pool.nonce(3);
+  FieldId f = pool.enc(pool.tuple({a, l, n}), pool.long_term_key(0));
+  EXPECT_EQ(pool.show(f, names), "{[A, [L, n3]]}P(A)");
+  FieldId k = pool.session_key(2);
+  EXPECT_EQ(pool.show(k, names), "K2");
+}
+
+TEST(FieldPool, SizeGrowsOnlyForNewFields) {
+  FieldPool pool;
+  std::size_t s0 = pool.size();
+  pool.agent(0);
+  std::size_t s1 = pool.size();
+  pool.agent(0);
+  EXPECT_EQ(pool.size(), s1);
+  EXPECT_EQ(s1, s0 + 1);
+}
+
+}  // namespace
+}  // namespace enclaves::model

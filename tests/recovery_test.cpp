@@ -1,0 +1,151 @@
+// Operational runbook tests: full crash-and-recover cycles, leader restart
+// from the persisted registry, stats snapshots.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "core/registry.h"
+#include "crypto/password.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+namespace enclaves::core {
+namespace {
+
+struct World {
+  explicit World(std::uint64_t seed)
+      : rng(seed), leader(LeaderConfig{"L", RekeyPolicy::strict()}, rng) {
+    leader.set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
+  }
+
+  Member& add(const std::string& id, crypto::LongTermKey pa) {
+    EXPECT_TRUE(leader.register_member(id, pa).ok());
+    return attach_member(id, pa);
+  }
+
+  Member& attach_member(const std::string& id, crypto::LongTermKey pa) {
+    auto m = std::make_unique<Member>(id, "L", pa, rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    members[id] = std::move(m);
+    return *raw;
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  Leader leader;
+  std::map<std::string, std::unique_ptr<Member>> members;
+};
+
+// The full runbook for a crashed member: probe -> detect -> expel -> the
+// member's replacement process rejoins with the same credential.
+TEST(Recovery, CrashedMemberFullCycle) {
+  World w(1);
+  auto pa_alice = crypto::LongTermKey::random(w.rng);
+  auto pa_bob = crypto::LongTermKey::random(w.rng);
+  auto& alice = w.add("alice", pa_alice);
+  w.add("bob", pa_bob);
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(w.members["bob"]->join().ok());
+  w.net.run();
+
+  // Bob's host dies. Its Member object (and session state) is GONE.
+  w.net.detach("bob");
+  w.members.erase("bob");
+
+  // Runbook step 1-2: probe, tick until detected.
+  w.leader.probe_liveness();
+  w.net.run();
+  for (int i = 0; i < 5; ++i) {
+    w.leader.tick();
+    w.net.run();
+  }
+  ASSERT_EQ(w.leader.stalled_members(5), std::vector<std::string>{"bob"});
+
+  // Step 3: expel; survivors rekey (strict policy), views shrink.
+  auto acted = w.leader.expel_stalled(5);
+  w.net.run();
+  ASSERT_EQ(acted, std::vector<std::string>{"bob"});
+  EXPECT_EQ(w.members["alice"]->view(), std::vector<std::string>{"alice"});
+
+  // Step 4: bob's machine comes back with the SAME credential and rejoins
+  // from scratch (a brand-new Member instance: no session survives a crash).
+  auto& bob2 = w.attach_member("bob", pa_bob);
+  ASSERT_TRUE(bob2.join().ok());
+  w.net.run();
+  EXPECT_TRUE(bob2.connected());
+  EXPECT_EQ(w.leader.member_count(), 2u);
+  EXPECT_EQ(bob2.epoch(), w.leader.epoch());
+  EXPECT_EQ(bob2.view(), (std::vector<std::string>{"alice", "bob"}));
+}
+
+// Leader restart: membership sessions are gone (members must rejoin), but
+// the credential registry persists, so nobody re-registers passwords.
+TEST(Recovery, LeaderRestartFromRegistry) {
+  Bytes storage_key = to_bytes("ops");
+  Registry registry;
+  auto pa = crypto::derive_long_term_key("alice", "pw", {16, "recovery"});
+  ASSERT_TRUE(registry.add(Credential{"alice", pa, "password"}).ok());
+  Bytes persisted = registry.serialize(storage_key);
+
+  // First leader incarnation.
+  {
+    World w(2);
+    auto restored = Registry::deserialize(persisted, storage_key);
+    ASSERT_TRUE(restored.ok());
+    restored->install(w.leader);
+    auto& alice = w.attach_member("alice", pa);
+    ASSERT_TRUE(alice.join().ok());
+    w.net.run();
+    ASSERT_TRUE(alice.connected());
+  }  // leader process "dies"
+
+  // Second incarnation: fresh Leader, same registry blob; the member's old
+  // session is meaningless (fresh keys), a plain rejoin works.
+  {
+    World w(3);
+    auto restored = Registry::deserialize(persisted, storage_key);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->install(w.leader), 1u);
+    auto& alice = w.attach_member("alice", pa);
+    ASSERT_TRUE(alice.join().ok());
+    w.net.run();
+    EXPECT_TRUE(alice.connected());
+    EXPECT_TRUE(w.leader.is_member("alice"));
+  }
+}
+
+TEST(Recovery, StatsSnapshotTracksLifecycle) {
+  World w(4);
+  auto pa = crypto::LongTermKey::random(w.rng);
+  auto& alice = w.add("alice", pa);
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(alice.leave().ok());
+  w.net.run();
+
+  auto s = w.leader.stats();
+  EXPECT_EQ(s.members, 0u);
+  EXPECT_EQ(s.joins, 1u);
+  EXPECT_EQ(s.leaves, 1u);
+  EXPECT_GE(s.rekeys, 1u);
+  EXPECT_EQ(s.expulsions, 0u);
+
+  std::string line = s.to_string();
+  EXPECT_NE(line.find("members=0"), std::string::npos);
+  EXPECT_NE(line.find("joins=1"), std::string::npos);
+  EXPECT_NE(line.find("leaves=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enclaves::core

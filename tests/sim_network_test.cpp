@@ -1,0 +1,129 @@
+// SimNetwork delivery semantics, taps, injection, logging, reordering.
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+namespace enclaves::net {
+namespace {
+
+wire::Envelope env(wire::Label label, const std::string& from,
+                   const std::string& to, std::string body = "") {
+  return wire::Envelope{label, from, to, to_bytes(body)};
+}
+
+TEST(SimNetwork, DeliversInFifoOrder) {
+  SimNetwork net;
+  std::vector<std::string> got;
+  net.attach("b", [&](const wire::Envelope& e) {
+    got.push_back(to_string(e.body));
+  });
+  net.send("b", env(wire::Label::GroupData, "a", "b", "1"));
+  net.send("b", env(wire::Label::GroupData, "a", "b", "2"));
+  net.send("b", env(wire::Label::GroupData, "a", "b", "3"));
+  EXPECT_EQ(net.run(), 3u);
+  EXPECT_EQ(got, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(SimNetwork, UnroutablePacketsCounted) {
+  SimNetwork net;
+  net.send("ghost", env(wire::Label::Ack, "a", "ghost"));
+  EXPECT_EQ(net.run(), 1u);
+  EXPECT_EQ(net.packets_unroutable(), 1u);
+}
+
+TEST(SimNetwork, TapCanDropPackets) {
+  SimNetwork net;
+  int delivered = 0;
+  net.attach("b", [&](const wire::Envelope&) { ++delivered; });
+  net.set_tap([](const Packet& p) {
+    return p.envelope.sender == "evil" ? TapVerdict::drop
+                                       : TapVerdict::deliver;
+  });
+  net.send("b", env(wire::Label::Ack, "evil", "b"));
+  net.send("b", env(wire::Label::Ack, "good", "b"));
+  net.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.packets_dropped_by_tap(), 1u);
+  // Dropped packets still appear in the log (they were on the wire).
+  EXPECT_EQ(net.log().size(), 2u);
+}
+
+TEST(SimNetwork, InjectBypassesTap) {
+  SimNetwork net;
+  int delivered = 0;
+  net.attach("b", [&](const wire::Envelope&) { ++delivered; });
+  net.set_tap([](const Packet&) { return TapVerdict::drop; });
+  net.inject("b", env(wire::Label::Ack, "evil", "b"));
+  net.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(SimNetwork, LogRecordsEverything) {
+  SimNetwork net;
+  net.attach("b", [](const wire::Envelope&) {});
+  net.send("b", env(wire::Label::AuthInitReq, "a", "b", "x"));
+  net.inject("b", env(wire::Label::Ack, "e", "b", "y"));
+  ASSERT_EQ(net.log().size(), 2u);
+  EXPECT_EQ(net.log()[0].envelope.label, wire::Label::AuthInitReq);
+  EXPECT_EQ(net.log()[1].envelope.label, wire::Label::Ack);
+  EXPECT_LT(net.log()[0].seq, net.log()[1].seq);
+}
+
+TEST(SimNetwork, HandlerMaySendDuringDelivery) {
+  SimNetwork net;
+  std::vector<std::string> order;
+  net.attach("a", [&](const wire::Envelope& e) {
+    order.push_back("a:" + to_string(e.body));
+  });
+  net.attach("b", [&](const wire::Envelope& e) {
+    order.push_back("b:" + to_string(e.body));
+    net.send("a", env(wire::Label::Ack, "b", "a", "reply"));
+  });
+  net.send("b", env(wire::Label::AdminMsg, "a", "b", "ping"));
+  net.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"b:ping", "a:reply"}));
+}
+
+TEST(SimNetwork, DetachStopsDelivery) {
+  SimNetwork net;
+  int delivered = 0;
+  net.attach("b", [&](const wire::Envelope&) { ++delivered; });
+  net.send("b", env(wire::Label::Ack, "a", "b"));
+  net.detach("b");
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.packets_unroutable(), 1u);
+}
+
+TEST(SimNetwork, RunRespectsMaxSteps) {
+  SimNetwork net;
+  // a and b ping-pong forever.
+  net.attach("a", [&](const wire::Envelope&) {
+    net.send("b", env(wire::Label::Ack, "a", "b"));
+  });
+  net.attach("b", [&](const wire::Envelope&) {
+    net.send("a", env(wire::Label::Ack, "b", "a"));
+  });
+  net.send("a", env(wire::Label::Ack, "b", "a"));
+  EXPECT_EQ(net.run(100), 100u);
+  EXPECT_GT(net.queue_size(), 0u);
+}
+
+TEST(SimNetwork, ShufflePreservesPacketSet) {
+  SimNetwork net;
+  std::multiset<std::string> got;
+  net.attach("b", [&](const wire::Envelope& e) {
+    got.insert(to_string(e.body));
+  });
+  for (int i = 0; i < 20; ++i)
+    net.send("b", env(wire::Label::GroupData, "a", "b", std::to_string(i)));
+  DeterministicRng rng(99);
+  net.shuffle(rng);
+  net.run();
+  EXPECT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(got.count(std::to_string(i)), 1u);
+}
+
+}  // namespace
+}  // namespace enclaves::net

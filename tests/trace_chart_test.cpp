@@ -1,0 +1,100 @@
+// Sequence-chart formatter: rendering, filters, caps, handshake shape.
+#include <gtest/gtest.h>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "net/sim_network.h"
+#include "net/trace_chart.h"
+#include "util/rng.h"
+
+namespace enclaves::net {
+namespace {
+
+std::vector<Packet> tiny_log() {
+  std::vector<Packet> log;
+  log.push_back({0, "L", {wire::Label::AuthInitReq, "alice", "L",
+                          Bytes(10, 0)}});
+  log.push_back({1, "alice", {wire::Label::AuthKeyDist, "L", "alice",
+                              Bytes(20, 0)}});
+  log.push_back({2, "bob", {wire::Label::GroupData, "alice", "*",
+                            Bytes(5, 0)}});
+  return log;
+}
+
+TEST(TraceChart, RendersOneLinePerPacket) {
+  auto chart = format_sequence_chart(tiny_log());
+  EXPECT_NE(chart.find("alice"), std::string::npos);
+  EXPECT_NE(chart.find("AuthInitReq (10B)"), std::string::npos);
+  EXPECT_NE(chart.find("AuthKeyDist (20B)"), std::string::npos);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 3);
+}
+
+TEST(TraceChart, FilterSelectsPackets) {
+  ChartOptions options;
+  options.filter = [](const Packet& p) {
+    return p.envelope.label == wire::Label::GroupData;
+  };
+  auto chart = format_sequence_chart(tiny_log(), options);
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 1);
+  EXPECT_NE(chart.find("GroupData"), std::string::npos);
+}
+
+TEST(TraceChart, CapTruncatesWithCount) {
+  ChartOptions options;
+  options.max_packets = 1;
+  auto chart = format_sequence_chart(tiny_log(), options);
+  EXPECT_NE(chart.find("... 2 more"), std::string::npos);
+}
+
+TEST(TraceChart, MismatchedRecipientFlagged) {
+  std::vector<Packet> log;
+  log.push_back({7, "bob", {wire::Label::AdminMsg, "L", "alice",
+                            Bytes(1, 0)}});  // delivered to bob, says alice
+  auto chart = format_sequence_chart(log);
+  EXPECT_NE(chart.find("[recipient field: alice]"), std::string::npos);
+}
+
+TEST(TraceChart, AgentChartShowsBothDirections) {
+  auto chart = format_agent_chart(tiny_log(), "alice");
+  // alice sends #0 and #2, receives #1; all three touch alice.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 3);
+  auto bob_chart = format_agent_chart(tiny_log(), "bob");
+  EXPECT_EQ(std::count(bob_chart.begin(), bob_chart.end(), '\n'), 1);
+}
+
+TEST(TraceChart, RealHandshakeHasPaperShape) {
+  DeterministicRng rng(4);
+  SimNetwork net;
+  core::Leader leader(core::LeaderConfig{"L", core::RekeyPolicy::manual()},
+                      rng);
+  leader.set_send([&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  });
+  net.attach("L", [&leader](const wire::Envelope& e) { leader.handle(e); });
+  auto pa = crypto::LongTermKey::random(rng);
+  ASSERT_TRUE(leader.register_member("alice", pa).ok());
+  core::Member alice("alice", "L", pa, rng);
+  alice.set_send([&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  });
+  net.attach("alice", [&alice](const wire::Envelope& e) { alice.handle(e); });
+  ASSERT_TRUE(alice.join().ok());
+  net.run();
+
+  auto chart = format_sequence_chart(net.log());
+  // The Section 3.2 shape: init, key dist, ack, then admin traffic.
+  auto pos_init = chart.find("AuthInitReq");
+  auto pos_dist = chart.find("AuthKeyDist");
+  auto pos_ack = chart.find("AuthAckKey");
+  auto pos_admin = chart.find("AdminMsg");
+  ASSERT_NE(pos_init, std::string::npos);
+  ASSERT_NE(pos_dist, std::string::npos);
+  ASSERT_NE(pos_ack, std::string::npos);
+  ASSERT_NE(pos_admin, std::string::npos);
+  EXPECT_LT(pos_init, pos_dist);
+  EXPECT_LT(pos_dist, pos_ack);
+  EXPECT_LT(pos_ack, pos_admin);
+}
+
+}  // namespace
+}  // namespace enclaves::net

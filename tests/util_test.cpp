@@ -1,0 +1,179 @@
+// util/ and crypto key-type coverage: bytes, hex, Result/Status, RNGs,
+// logging sink, typed keys.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/ct.h"
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/hex.h"
+#include "util/logging.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace enclaves {
+namespace {
+
+TEST(Bytes, ToFromString) {
+  EXPECT_EQ(to_string(to_bytes("abc")), "abc");
+  EXPECT_EQ(to_bytes(""), Bytes{});
+  Bytes with_nul = {0x61, 0x00, 0x62};
+  EXPECT_EQ(to_string(with_nul).size(), 3u);
+}
+
+TEST(Bytes, AppendAndConcat) {
+  Bytes a = to_bytes("foo");
+  append(a, to_bytes("bar"));
+  EXPECT_EQ(to_string(a), "foobar");
+  Bytes c = concat({to_bytes("x"), {}, to_bytes("yz")});
+  EXPECT_EQ(to_string(c), "xyz");
+}
+
+TEST(Bytes, Equal) {
+  EXPECT_TRUE(equal(to_bytes("ab"), to_bytes("ab")));
+  EXPECT_FALSE(equal(to_bytes("ab"), to_bytes("ac")));
+  EXPECT_FALSE(equal(to_bytes("ab"), to_bytes("abc")));
+  EXPECT_TRUE(equal({}, {}));
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes b = {0x00, 0x7F, 0xFF, 0x10};
+  EXPECT_EQ(to_hex(b), "007fff10");
+  auto back = from_hex("007fff10");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(Hex, CaseInsensitiveDecode) {
+  EXPECT_EQ(*from_hex("DeadBEEF"), *from_hex("deadbeef"));
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // non-hex
+  EXPECT_FALSE(from_hex("0g").has_value());
+  EXPECT_TRUE(from_hex("").has_value());       // empty is fine
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.code(), Errc::ok);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Result<int> err = make_error(Errc::stale, "too old");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Errc::stale);
+  EXPECT_EQ(err.error().to_string(), "stale: too old");
+  EXPECT_EQ(err.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto p = *std::move(r);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Status, SuccessAndFailure) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), Errc::ok);
+  Status bad(Errc::io_error);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), Errc::io_error);
+}
+
+TEST(Errc, AllNamesDefined) {
+  for (auto c : {Errc::ok, Errc::malformed, Errc::truncated, Errc::oversized,
+                 Errc::auth_failed, Errc::bad_key, Errc::unexpected,
+                 Errc::stale, Errc::identity_mismatch, Errc::unknown_peer,
+                 Errc::already_exists, Errc::closed, Errc::denied,
+                 Errc::io_error, Errc::internal}) {
+    EXPECT_STRNE(errc_name(c), "?");
+  }
+}
+
+TEST(DeterministicRng, Reproducible) {
+  DeterministicRng a(99), b(99), c(100);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+  DeterministicRng d(99), e(99);
+  EXPECT_EQ(d.bytes(33), e.bytes(33));
+}
+
+TEST(DeterministicRng, BelowIsInRangeAndCoversValues) {
+  DeterministicRng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(OsRng, ProducesDistinctOutput) {
+  OsRng rng;
+  EXPECT_NE(rng.bytes(32), rng.bytes(32));
+}
+
+TEST(Logging, SinkReceivesMessagesAboveThreshold) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, const std::string& m) {
+    lines.push_back(m);
+  });
+  auto old = log_level();
+  set_log_level(LogLevel::info);
+  ENCLAVES_LOG(info) << "visible " << 42;
+  ENCLAVES_LOG(debug) << "hidden";
+  set_log_level(old);
+  set_log_sink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "visible 42");
+}
+
+TEST(CtEqual, ConstantTimeSemantics) {
+  using crypto::ct_equal;
+  Bytes a = to_bytes("secret"), b = to_bytes("secret");
+  EXPECT_TRUE(ct_equal(a, b));
+  b[5] ^= 1;
+  EXPECT_FALSE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, to_bytes("secre")));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(SecureWipe, ZeroesBuffer) {
+  Bytes b = to_bytes("sensitive");
+  crypto::secure_wipe(b);
+  for (auto v : b) EXPECT_EQ(v, 0);
+}
+
+TEST(TypedKeys, RandomDistinctAndRoundTrip) {
+  DeterministicRng rng(1);
+  auto k1 = crypto::SessionKey::random(rng);
+  auto k2 = crypto::SessionKey::random(rng);
+  EXPECT_NE(k1, k2);
+  auto copy = crypto::SessionKey::from_bytes(k1.to_bytes());
+  EXPECT_EQ(copy, k1);
+  EXPECT_EQ(k1.view().size(), crypto::kKeyBytes);
+}
+
+TEST(TypedKeys, DefaultIsZero) {
+  crypto::GroupKey k;
+  for (auto v : k.view()) EXPECT_EQ(v, 0);
+}
+
+TEST(ProtocolNonce, RandomAndComparable) {
+  DeterministicRng rng(2);
+  auto n1 = crypto::ProtocolNonce::random(rng);
+  auto n2 = crypto::ProtocolNonce::random(rng);
+  EXPECT_NE(n1, n2);
+  EXPECT_EQ(crypto::ProtocolNonce::from_bytes(n1.to_bytes()), n1);
+  EXPECT_EQ(n1.view().size(), crypto::kNonceBytes);
+}
+
+}  // namespace
+}  // namespace enclaves

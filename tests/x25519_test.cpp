@@ -1,0 +1,147 @@
+// X25519 public-key authentication (the paper's footnoted extension):
+// RFC 7748 vectors, key agreement, Pa derivation, and a full protocol run
+// authenticated by key pairs instead of passwords.
+#include <gtest/gtest.h>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "crypto/x25519.h"
+#include "net/sim_network.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace enclaves::crypto {
+namespace {
+
+TEST(X25519, Rfc7748StaticVector) {
+  // RFC 7748 §6.1 Diffie-Hellman test vector.
+  Bytes alice_priv = must_from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  Bytes bob_priv = must_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  Bytes alice_pub_expect = must_from_hex(
+      "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  Bytes bob_pub_expect = must_from_hex(
+      "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+  Bytes shared_expect = must_from_hex(
+      "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+
+  auto alice = X25519KeyPair::from_private(alice_priv);
+  auto bob = X25519KeyPair::from_private(bob_priv);
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  EXPECT_EQ(alice->public_key, alice_pub_expect);
+  EXPECT_EQ(bob->public_key, bob_pub_expect);
+
+  auto s1 = x25519_shared_secret(alice_priv, bob->public_key);
+  auto s2 = x25519_shared_secret(bob_priv, alice->public_key);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*s1, shared_expect);
+  EXPECT_EQ(*s2, shared_expect);
+}
+
+TEST(X25519, GenerateProducesWorkingPairs) {
+  auto a = X25519KeyPair::generate();
+  auto b = X25519KeyPair::generate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->public_key, b->public_key);
+  auto s1 = x25519_shared_secret(a->private_key, b->public_key);
+  auto s2 = x25519_shared_secret(b->private_key, a->public_key);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*s1, *s2);
+}
+
+TEST(X25519, RejectsBadInputs) {
+  auto a = X25519KeyPair::generate();
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(x25519_shared_secret(Bytes(31, 1), a->public_key).ok());
+  EXPECT_FALSE(x25519_shared_secret(a->private_key, Bytes(5, 1)).ok());
+  // All-zero peer public key is a low-order point: must be refused.
+  auto r = x25519_shared_secret(a->private_key, Bytes(32, 0));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::bad_key);
+}
+
+TEST(X25519, PaDerivationAgreesAcrossRoles) {
+  auto member = X25519KeyPair::generate();
+  auto leader = X25519KeyPair::generate();
+  ASSERT_TRUE(member.ok() && leader.ok());
+
+  auto pa_member = derive_long_term_key_x25519(
+      member->private_key, leader->public_key, "alice", "L");
+  auto pa_leader = derive_long_term_key_x25519(
+      leader->private_key, member->public_key, "alice", "L");
+  ASSERT_TRUE(pa_member.ok() && pa_leader.ok());
+  EXPECT_EQ(*pa_member, *pa_leader);
+}
+
+TEST(X25519, PaBindsIdentities) {
+  auto member = X25519KeyPair::generate();
+  auto leader = X25519KeyPair::generate();
+  ASSERT_TRUE(member.ok() && leader.ok());
+  auto pa1 = derive_long_term_key_x25519(member->private_key,
+                                         leader->public_key, "alice", "L");
+  auto pa2 = derive_long_term_key_x25519(member->private_key,
+                                         leader->public_key, "alice", "L2");
+  auto pa3 = derive_long_term_key_x25519(member->private_key,
+                                         leader->public_key, "bob", "L");
+  ASSERT_TRUE(pa1.ok() && pa2.ok() && pa3.ok());
+  EXPECT_NE(*pa1, *pa2);
+  EXPECT_NE(*pa1, *pa3);
+}
+
+// The whole improved protocol running on public-key-derived credentials —
+// nothing else changes, which is exactly the point of the extension.
+TEST(X25519, FullProtocolWithPkAuthentication) {
+  DeterministicRng rng(123);
+  net::SimNetwork net;
+  core::Leader leader(core::LeaderConfig{"L", core::RekeyPolicy::strict()},
+                      rng);
+  leader.set_send([&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  });
+  net.attach("L", [&leader](const wire::Envelope& e) { leader.handle(e); });
+
+  auto leader_keys = X25519KeyPair::generate();
+  auto alice_keys = X25519KeyPair::generate();
+  ASSERT_TRUE(leader_keys.ok() && alice_keys.ok());
+
+  // Leader registers alice from HER PUBLIC KEY only (no shared password).
+  auto pa_for_leader = derive_long_term_key_x25519(
+      leader_keys->private_key, alice_keys->public_key, "alice", "L");
+  ASSERT_TRUE(pa_for_leader.ok());
+  ASSERT_TRUE(leader.register_member("alice", *pa_for_leader).ok());
+
+  // Alice derives the same Pa from the LEADER'S public key.
+  auto pa_for_alice = derive_long_term_key_x25519(
+      alice_keys->private_key, leader_keys->public_key, "alice", "L");
+  ASSERT_TRUE(pa_for_alice.ok());
+
+  core::Member alice("alice", "L", *pa_for_alice, rng);
+  alice.set_send([&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  });
+  net.attach("alice", [&alice](const wire::Envelope& e) { alice.handle(e); });
+
+  ASSERT_TRUE(alice.join().ok());
+  net.run();
+  EXPECT_TRUE(alice.connected());
+  EXPECT_TRUE(leader.is_member("alice"));
+
+  // And an imposter with a DIFFERENT key pair claiming to be alice fails.
+  auto mallory_keys = X25519KeyPair::generate();
+  auto wrong_pa = derive_long_term_key_x25519(
+      mallory_keys->private_key, leader_keys->public_key, "alice", "L");
+  ASSERT_TRUE(wrong_pa.ok());
+  core::Member imposter("alice", "L", *wrong_pa, rng);
+  imposter.set_send([&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  });
+  // (alice already left the handler slot? No — keep alice attached; the
+  // imposter races on the same identity from elsewhere.)
+  ASSERT_TRUE(imposter.join().ok());
+  net.run();
+  EXPECT_FALSE(imposter.connected());
+}
+
+}  // namespace
+}  // namespace enclaves::crypto
