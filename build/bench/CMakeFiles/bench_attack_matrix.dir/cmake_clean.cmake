@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_matrix.dir/bench_attack_matrix.cpp.o"
+  "CMakeFiles/bench_attack_matrix.dir/bench_attack_matrix.cpp.o.d"
+  "bench_attack_matrix"
+  "bench_attack_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fsm_coverage.dir/bench_fsm_coverage.cpp.o"
+  "CMakeFiles/bench_fsm_coverage.dir/bench_fsm_coverage.cpp.o.d"
+  "bench_fsm_coverage"
+  "bench_fsm_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fsm_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

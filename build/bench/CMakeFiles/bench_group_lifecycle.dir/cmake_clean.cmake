@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_lifecycle.dir/bench_group_lifecycle.cpp.o"
+  "CMakeFiles/bench_group_lifecycle.dir/bench_group_lifecycle.cpp.o.d"
+  "bench_group_lifecycle"
+  "bench_group_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_diagram.dir/bench_model_diagram.cpp.o"
+  "CMakeFiles/bench_model_diagram.dir/bench_model_diagram.cpp.o.d"
+  "bench_model_diagram"
+  "bench_model_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_legacy.dir/bench_model_legacy.cpp.o"
+  "CMakeFiles/bench_model_legacy.dir/bench_model_legacy.cpp.o.d"
+  "bench_model_legacy"
+  "bench_model_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_scaling.dir/bench_model_scaling.cpp.o"
+  "CMakeFiles/bench_model_scaling.dir/bench_model_scaling.cpp.o.d"
+  "bench_model_scaling"
+  "bench_model_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_secrecy.dir/bench_model_secrecy.cpp.o"
+  "CMakeFiles/bench_model_secrecy.dir/bench_model_secrecy.cpp.o.d"
+  "bench_model_secrecy"
+  "bench_model_secrecy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_secrecy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_perf.dir/bench_protocol_perf.cpp.o"
+  "CMakeFiles/bench_protocol_perf.dir/bench_protocol_perf.cpp.o.d"
+  "bench_protocol_perf"
+  "bench_protocol_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presence_board.dir/presence_board.cpp.o"
+  "CMakeFiles/presence_board.dir/presence_board.cpp.o.d"
+  "presence_board"
+  "presence_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presence_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_chat.dir/secure_chat.cpp.o"
+  "CMakeFiles/secure_chat.dir/secure_chat.cpp.o.d"
+  "secure_chat"
+  "secure_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

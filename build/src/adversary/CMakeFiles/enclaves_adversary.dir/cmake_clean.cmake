@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_adversary.dir/attacks.cpp.o"
+  "CMakeFiles/enclaves_adversary.dir/attacks.cpp.o.d"
+  "CMakeFiles/enclaves_adversary.dir/intruder.cpp.o"
+  "CMakeFiles/enclaves_adversary.dir/intruder.cpp.o.d"
+  "CMakeFiles/enclaves_adversary.dir/storm.cpp.o"
+  "CMakeFiles/enclaves_adversary.dir/storm.cpp.o.d"
+  "libenclaves_adversary.a"
+  "libenclaves_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenclaves_adversary.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_app.dir/file_drop.cpp.o"
+  "CMakeFiles/enclaves_app.dir/file_drop.cpp.o.d"
+  "CMakeFiles/enclaves_app.dir/group_chat.cpp.o"
+  "CMakeFiles/enclaves_app.dir/group_chat.cpp.o.d"
+  "CMakeFiles/enclaves_app.dir/shared_state.cpp.o"
+  "CMakeFiles/enclaves_app.dir/shared_state.cpp.o.d"
+  "libenclaves_app.a"
+  "libenclaves_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/enclaves_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/leader.cpp" "src/core/CMakeFiles/enclaves_core.dir/leader.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/leader.cpp.o.d"
+  "/root/repo/src/core/leader_session.cpp" "src/core/CMakeFiles/enclaves_core.dir/leader_session.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/leader_session.cpp.o.d"
+  "/root/repo/src/core/member.cpp" "src/core/CMakeFiles/enclaves_core.dir/member.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/member.cpp.o.d"
+  "/root/repo/src/core/member_session.cpp" "src/core/CMakeFiles/enclaves_core.dir/member_session.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/member_session.cpp.o.d"
+  "/root/repo/src/core/multi_group.cpp" "src/core/CMakeFiles/enclaves_core.dir/multi_group.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/multi_group.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/enclaves_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/enclaves_core.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/enclaves_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/enclaves_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/enclaves_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

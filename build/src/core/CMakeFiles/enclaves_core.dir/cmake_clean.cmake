@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_core.dir/audit.cpp.o"
+  "CMakeFiles/enclaves_core.dir/audit.cpp.o.d"
+  "CMakeFiles/enclaves_core.dir/leader.cpp.o"
+  "CMakeFiles/enclaves_core.dir/leader.cpp.o.d"
+  "CMakeFiles/enclaves_core.dir/leader_session.cpp.o"
+  "CMakeFiles/enclaves_core.dir/leader_session.cpp.o.d"
+  "CMakeFiles/enclaves_core.dir/member.cpp.o"
+  "CMakeFiles/enclaves_core.dir/member.cpp.o.d"
+  "CMakeFiles/enclaves_core.dir/member_session.cpp.o"
+  "CMakeFiles/enclaves_core.dir/member_session.cpp.o.d"
+  "CMakeFiles/enclaves_core.dir/multi_group.cpp.o"
+  "CMakeFiles/enclaves_core.dir/multi_group.cpp.o.d"
+  "CMakeFiles/enclaves_core.dir/registry.cpp.o"
+  "CMakeFiles/enclaves_core.dir/registry.cpp.o.d"
+  "libenclaves_core.a"
+  "libenclaves_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

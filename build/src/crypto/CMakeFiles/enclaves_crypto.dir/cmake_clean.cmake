@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_crypto.dir/aes_gcm.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/aes_gcm.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/chacha20poly1305.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/chacha20poly1305.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/ct.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/ct.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/keys.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/password.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/password.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/pbkdf2.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/pbkdf2.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/enclaves_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/enclaves_crypto.dir/x25519.cpp.o.d"
+  "libenclaves_crypto.a"
+  "libenclaves_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

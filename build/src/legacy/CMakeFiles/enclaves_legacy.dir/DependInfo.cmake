@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legacy/legacy_leader.cpp" "src/legacy/CMakeFiles/enclaves_legacy.dir/legacy_leader.cpp.o" "gcc" "src/legacy/CMakeFiles/enclaves_legacy.dir/legacy_leader.cpp.o.d"
+  "/root/repo/src/legacy/legacy_member.cpp" "src/legacy/CMakeFiles/enclaves_legacy.dir/legacy_member.cpp.o" "gcc" "src/legacy/CMakeFiles/enclaves_legacy.dir/legacy_member.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/enclaves_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/enclaves_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/enclaves_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enclaves_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

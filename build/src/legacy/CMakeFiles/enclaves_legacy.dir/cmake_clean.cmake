@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_legacy.dir/legacy_leader.cpp.o"
+  "CMakeFiles/enclaves_legacy.dir/legacy_leader.cpp.o.d"
+  "CMakeFiles/enclaves_legacy.dir/legacy_member.cpp.o"
+  "CMakeFiles/enclaves_legacy.dir/legacy_member.cpp.o.d"
+  "libenclaves_legacy.a"
+  "libenclaves_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/closure.cpp" "src/model/CMakeFiles/enclaves_model.dir/closure.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/closure.cpp.o.d"
+  "/root/repo/src/model/explorer.cpp" "src/model/CMakeFiles/enclaves_model.dir/explorer.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/explorer.cpp.o.d"
+  "/root/repo/src/model/field.cpp" "src/model/CMakeFiles/enclaves_model.dir/field.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/field.cpp.o.d"
+  "/root/repo/src/model/invariants.cpp" "src/model/CMakeFiles/enclaves_model.dir/invariants.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/invariants.cpp.o.d"
+  "/root/repo/src/model/legacy_model.cpp" "src/model/CMakeFiles/enclaves_model.dir/legacy_model.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/legacy_model.cpp.o.d"
+  "/root/repo/src/model/protocol_model.cpp" "src/model/CMakeFiles/enclaves_model.dir/protocol_model.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/protocol_model.cpp.o.d"
+  "/root/repo/src/model/state.cpp" "src/model/CMakeFiles/enclaves_model.dir/state.cpp.o" "gcc" "src/model/CMakeFiles/enclaves_model.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/enclaves_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_model.dir/closure.cpp.o"
+  "CMakeFiles/enclaves_model.dir/closure.cpp.o.d"
+  "CMakeFiles/enclaves_model.dir/explorer.cpp.o"
+  "CMakeFiles/enclaves_model.dir/explorer.cpp.o.d"
+  "CMakeFiles/enclaves_model.dir/field.cpp.o"
+  "CMakeFiles/enclaves_model.dir/field.cpp.o.d"
+  "CMakeFiles/enclaves_model.dir/invariants.cpp.o"
+  "CMakeFiles/enclaves_model.dir/invariants.cpp.o.d"
+  "CMakeFiles/enclaves_model.dir/legacy_model.cpp.o"
+  "CMakeFiles/enclaves_model.dir/legacy_model.cpp.o.d"
+  "CMakeFiles/enclaves_model.dir/protocol_model.cpp.o"
+  "CMakeFiles/enclaves_model.dir/protocol_model.cpp.o.d"
+  "CMakeFiles/enclaves_model.dir/state.cpp.o"
+  "CMakeFiles/enclaves_model.dir/state.cpp.o.d"
+  "libenclaves_model.a"
+  "libenclaves_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/sim_network.cpp" "src/net/CMakeFiles/enclaves_net.dir/sim_network.cpp.o" "gcc" "src/net/CMakeFiles/enclaves_net.dir/sim_network.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/enclaves_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/enclaves_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/trace_chart.cpp" "src/net/CMakeFiles/enclaves_net.dir/trace_chart.cpp.o" "gcc" "src/net/CMakeFiles/enclaves_net.dir/trace_chart.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/enclaves_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/enclaves_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/enclaves_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/enclaves_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/enclaves_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

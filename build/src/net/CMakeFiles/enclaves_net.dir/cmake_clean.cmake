@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_net.dir/sim_network.cpp.o"
+  "CMakeFiles/enclaves_net.dir/sim_network.cpp.o.d"
+  "CMakeFiles/enclaves_net.dir/tcp.cpp.o"
+  "CMakeFiles/enclaves_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/enclaves_net.dir/trace_chart.cpp.o"
+  "CMakeFiles/enclaves_net.dir/trace_chart.cpp.o.d"
+  "CMakeFiles/enclaves_net.dir/udp.cpp.o"
+  "CMakeFiles/enclaves_net.dir/udp.cpp.o.d"
+  "libenclaves_net.a"
+  "libenclaves_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_util.dir/bytes.cpp.o"
+  "CMakeFiles/enclaves_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/enclaves_util.dir/hex.cpp.o"
+  "CMakeFiles/enclaves_util.dir/hex.cpp.o.d"
+  "CMakeFiles/enclaves_util.dir/logging.cpp.o"
+  "CMakeFiles/enclaves_util.dir/logging.cpp.o.d"
+  "CMakeFiles/enclaves_util.dir/rng.cpp.o"
+  "CMakeFiles/enclaves_util.dir/rng.cpp.o.d"
+  "libenclaves_util.a"
+  "libenclaves_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/admin_body.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/admin_body.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/admin_body.cpp.o.d"
+  "/root/repo/src/wire/codec.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/codec.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/codec.cpp.o.d"
+  "/root/repo/src/wire/envelope.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/envelope.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/envelope.cpp.o.d"
+  "/root/repo/src/wire/frame.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/frame.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/frame.cpp.o.d"
+  "/root/repo/src/wire/legacy_payloads.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/legacy_payloads.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/legacy_payloads.cpp.o.d"
+  "/root/repo/src/wire/payloads.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/payloads.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/payloads.cpp.o.d"
+  "/root/repo/src/wire/seal.cpp" "src/wire/CMakeFiles/enclaves_wire.dir/seal.cpp.o" "gcc" "src/wire/CMakeFiles/enclaves_wire.dir/seal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/enclaves_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/enclaves_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enclaves_wire.dir/admin_body.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/admin_body.cpp.o.d"
+  "CMakeFiles/enclaves_wire.dir/codec.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/codec.cpp.o.d"
+  "CMakeFiles/enclaves_wire.dir/envelope.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/envelope.cpp.o.d"
+  "CMakeFiles/enclaves_wire.dir/frame.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/frame.cpp.o.d"
+  "CMakeFiles/enclaves_wire.dir/legacy_payloads.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/legacy_payloads.cpp.o.d"
+  "CMakeFiles/enclaves_wire.dir/payloads.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/payloads.cpp.o.d"
+  "CMakeFiles/enclaves_wire.dir/seal.cpp.o"
+  "CMakeFiles/enclaves_wire.dir/seal.cpp.o.d"
+  "libenclaves_wire.a"
+  "libenclaves_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enclaves_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

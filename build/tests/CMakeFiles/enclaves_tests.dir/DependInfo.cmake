@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aead_provider_protocol_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/aead_provider_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/aead_provider_protocol_test.cpp.o.d"
+  "/root/repo/tests/app_over_tcp_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/app_over_tcp_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/app_over_tcp_test.cpp.o.d"
+  "/root/repo/tests/attacks_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/attacks_test.cpp.o.d"
+  "/root/repo/tests/codec_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/codec_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/conformance_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/conformance_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/conformance_test.cpp.o.d"
+  "/root/repo/tests/credential_rotation_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/credential_rotation_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/credential_rotation_test.cpp.o.d"
+  "/root/repo/tests/crypto_aead_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/crypto_aead_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/crypto_aead_test.cpp.o.d"
+  "/root/repo/tests/crypto_hmac_hkdf_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/crypto_hmac_hkdf_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/crypto_hmac_hkdf_test.cpp.o.d"
+  "/root/repo/tests/crypto_openssl_cross_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/crypto_openssl_cross_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/crypto_openssl_cross_test.cpp.o.d"
+  "/root/repo/tests/crypto_sha256_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/crypto_sha256_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/crypto_sha256_test.cpp.o.d"
+  "/root/repo/tests/file_drop_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/file_drop_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/file_drop_test.cpp.o.d"
+  "/root/repo/tests/fuzzish_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/fuzzish_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/fuzzish_test.cpp.o.d"
+  "/root/repo/tests/group_chat_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/group_chat_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/group_chat_test.cpp.o.d"
+  "/root/repo/tests/group_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/group_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/group_test.cpp.o.d"
+  "/root/repo/tests/leader_session_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/leader_session_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/leader_session_test.cpp.o.d"
+  "/root/repo/tests/legacy_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/legacy_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/legacy_test.cpp.o.d"
+  "/root/repo/tests/lossy_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/lossy_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/lossy_test.cpp.o.d"
+  "/root/repo/tests/member_session_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/member_session_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/member_session_test.cpp.o.d"
+  "/root/repo/tests/model_closure_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/model_closure_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/model_closure_test.cpp.o.d"
+  "/root/repo/tests/model_explore_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/model_explore_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/model_explore_test.cpp.o.d"
+  "/root/repo/tests/model_field_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/model_field_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/model_field_test.cpp.o.d"
+  "/root/repo/tests/model_legacy_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/model_legacy_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/model_legacy_test.cpp.o.d"
+  "/root/repo/tests/multi_group_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/multi_group_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/multi_group_test.cpp.o.d"
+  "/root/repo/tests/policy_audit_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/policy_audit_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/policy_audit_test.cpp.o.d"
+  "/root/repo/tests/recovery_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/recovery_test.cpp.o.d"
+  "/root/repo/tests/registry_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/registry_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/registry_test.cpp.o.d"
+  "/root/repo/tests/seal_frame_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/seal_frame_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/seal_frame_test.cpp.o.d"
+  "/root/repo/tests/shared_state_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/shared_state_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/shared_state_test.cpp.o.d"
+  "/root/repo/tests/sim_network_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/sim_network_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/sim_network_test.cpp.o.d"
+  "/root/repo/tests/stall_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/stall_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/stall_test.cpp.o.d"
+  "/root/repo/tests/storm_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/storm_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/storm_test.cpp.o.d"
+  "/root/repo/tests/tcp_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/tcp_test.cpp.o.d"
+  "/root/repo/tests/trace_chart_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/trace_chart_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/trace_chart_test.cpp.o.d"
+  "/root/repo/tests/udp_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/udp_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/udp_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/wire_payload_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/wire_payload_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/wire_payload_test.cpp.o.d"
+  "/root/repo/tests/x25519_test.cpp" "tests/CMakeFiles/enclaves_tests.dir/x25519_test.cpp.o" "gcc" "tests/CMakeFiles/enclaves_tests.dir/x25519_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/enclaves_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/enclaves_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/enclaves_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/enclaves_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/enclaves_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/enclaves_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/enclaves_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/enclaves_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/enclaves_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
