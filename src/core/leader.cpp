@@ -246,30 +246,46 @@ LeaderSession* Leader::session(const std::string& member_id) {
 }
 
 std::size_t Leader::tick() {
+  clock_.advance();
+  const Tick now = clock_.now();
   std::size_t sent = 0;
   for (const auto& [id, session] : sessions_) {
-    if (auto env = session->pending_retransmit()) {
+    auto env = session->pending_retransmit();
+    if (!env) {
+      retry_.erase(id);
+      continue;
+    }
+    auto [it, inserted] = retry_.try_emplace(id);
+    SessionRetry& sr = it->second;
+    if (inserted || !(sr.pending == *env)) {
+      // New exchange (or first sight of this one): progress was made, so
+      // the backoff and the stall count restart from zero.
+      sr.pending = *env;
+      sr.state.arm(now, stable_salt(id));
+    }
+    if (sr.state.due(now, config_.retry)) {
       send(id, *std::move(env));
+      sr.state.record_attempt(now, config_.retry);
       ++sent;
-      ++stall_ticks_[id];
-    } else {
-      stall_ticks_.erase(id);
     }
   }
+  if (config_.auto_expel_attempts > 0)
+    expel_stalled(config_.auto_expel_attempts);
   return sent;
 }
 
-std::vector<std::string> Leader::stalled_members(std::uint32_t ticks) const {
+std::vector<std::string> Leader::stalled_members(
+    std::uint32_t attempts) const {
   std::vector<std::string> out;
-  for (const auto& [id, count] : stall_ticks_) {
-    if (count >= ticks) out.push_back(id);
+  for (const auto& [id, sr] : retry_) {
+    if (sr.state.attempts() >= attempts) out.push_back(id);
   }
   return out;
 }
 
-std::vector<std::string> Leader::expel_stalled(std::uint32_t ticks) {
+std::vector<std::string> Leader::expel_stalled(std::uint32_t attempts) {
   std::vector<std::string> acted;
-  for (const std::string& id : stalled_members(ticks)) {
+  for (const std::string& id : stalled_members(attempts)) {
     auto it = sessions_.find(id);
     if (it == sessions_.end() || !it->second->in_session()) continue;
     if (members_.count(id)) {
@@ -283,10 +299,23 @@ std::vector<std::string> Leader::expel_stalled(std::uint32_t ticks) {
       audit_.record(AuditKind::auth_reject, id, "ghost handshake cleared");
       (void)it->second->force_close();
     }
-    stall_ticks_.erase(id);
+    retry_.erase(id);
     acted.push_back(id);
   }
   return acted;
+}
+
+LeaderSnapshot Leader::snapshot() const {
+  LeaderSnapshot snap;
+  snap.epoch = epoch_;
+  for (const auto& [id, session] : sessions_)
+    (void)snap.registry.add(Credential{id, session->long_term_key(),
+                                       "snapshot"});
+  return snap;
+}
+
+void Leader::set_epoch_floor(std::uint64_t epoch) {
+  if (!kg_initialized_ && epoch > epoch_) epoch_ = epoch;
 }
 
 Leader::Stats Leader::stats() const {

@@ -22,9 +22,12 @@
 #include "core/audit.h"
 #include "core/leader_session.h"
 #include "core/policy.h"
+#include "core/registry.h"
 #include "core/rekey_policy.h"
+#include "core/retry.h"
 #include "crypto/aead.h"
 #include "crypto/keys.h"
+#include "util/clock.h"
 #include "util/result.h"
 #include "wire/envelope.h"
 
@@ -35,6 +38,15 @@ using SendFn = std::function<void(const std::string& to, wire::Envelope)>;
 struct LeaderConfig {
   std::string id = "L";
   RekeyPolicy rekey = RekeyPolicy::strict();
+  /// Retransmission schedule applied by tick() to every stalled exchange.
+  /// The default (every tick, unlimited) is the historical behaviour;
+  /// production-shaped deployments want exponential backoff with jitter.
+  RetryPolicy retry = RetryPolicy::every_tick();
+  /// Graceful degradation: when > 0, tick() automatically expels any
+  /// session whose exchange has been retransmitted this many times without
+  /// an answer (suspect -> retransmit with backoff -> expel). 0 = manual
+  /// expulsion via expel_stalled() only.
+  std::uint32_t auto_expel_attempts = 0;
 };
 
 class Leader {
@@ -126,22 +138,37 @@ class Leader {
   const LeaderSession* session(const std::string& member_id) const;
   LeaderSession* session(const std::string& member_id);
 
-  /// Retransmits every stalled exchange (pending AuthKeyDist or AdminMsg)
-  /// byte-identically. Call on a timer when the transport can lose messages
-  /// (SimNetwork with a dropping tap, UDP-like links); harmless but
-  /// unnecessary on reliable transports. Returns envelopes re-sent.
+  /// Advances the virtual clock one tick and retransmits every stalled
+  /// exchange (pending AuthKeyDist or AdminMsg) that is due under
+  /// config.retry — byte-identically, so nothing new ever hits the wire.
+  /// When config.auto_expel_attempts > 0, sessions whose retransmit budget
+  /// is spent are expelled here too. Call on a timer when the transport can
+  /// lose messages (SimNetwork with a dropping tap, UDP-like links);
+  /// harmless but unnecessary on reliable transports. Returns envelopes
+  /// re-sent.
   std::size_t tick();
 
-  /// Members whose exchange has been pending for at least `ticks`
-  /// consecutive tick() calls — candidates for expulsion (crashed host,
-  /// severed link, or a peer deliberately withholding acks).
-  std::vector<std::string> stalled_members(std::uint32_t ticks) const;
+  /// Members whose current exchange has been retransmitted at least
+  /// `attempts` times without an answer — candidates for expulsion (crashed
+  /// host, severed link, or a peer deliberately withholding acks). Under
+  /// the default every-tick policy this equals consecutive stalled ticks.
+  std::vector<std::string> stalled_members(std::uint32_t attempts) const;
 
-  /// Expels every member stalled for at least `ticks` ticks. Also clears
-  /// ghost handshakes (sessions stuck in WaitingForKeyAck, e.g. from a
-  /// replayed AuthInitReq) without announcing a departure — the ghost never
-  /// was a member. Returns the ids acted upon.
-  std::vector<std::string> expel_stalled(std::uint32_t ticks);
+  /// Crash-recovery snapshot: every registered credential plus the current
+  /// epoch, enough for a restarted leader to re-form the group (members
+  /// re-authenticate with fresh keys; the epoch floor keeps every future
+  /// group key strictly newer than anything issued before the crash).
+  LeaderSnapshot snapshot() const;
+
+  /// Installs the epoch floor from a pre-crash snapshot. Only meaningful on
+  /// a fresh leader (before the first rekey); later calls are ignored.
+  void set_epoch_floor(std::uint64_t epoch);
+
+  /// Expels every member stalled for at least `attempts` retransmissions.
+  /// Also clears ghost handshakes (sessions stuck in WaitingForKeyAck, e.g.
+  /// from a replayed AuthInitReq) without announcing a departure — the
+  /// ghost never was a member. Returns the ids acted upon.
+  std::vector<std::string> expel_stalled(std::uint32_t attempts);
 
   /// Aggregate rejected-input count across all sessions plus relay checks.
   std::uint64_t rejected_inputs() const;
@@ -183,9 +210,17 @@ class Leader {
 
   std::shared_ptr<const AccessPolicy> policy_;
   AuditLog audit_;
-  // Consecutive tick() calls each session has spent with an exchange
-  // pending; reset when the pending exchange clears.
-  std::map<std::string, std::uint32_t> stall_ticks_;
+
+  // Liveness layer: per-session retry bookkeeping on one virtual clock.
+  // The RetryState backs off per config_.retry while the SAME envelope
+  // stays pending; a different pending envelope means the member made
+  // progress, so the backoff (and the stall count) restarts.
+  struct SessionRetry {
+    RetryState state;
+    wire::Envelope pending;  // the envelope the backoff applies to
+  };
+  std::map<std::string, SessionRetry> retry_;
+  VirtualClock clock_;
 };
 
 }  // namespace enclaves::core

@@ -60,6 +60,9 @@ class LeaderSession {
   /// established session keeps running on its session key.
   void set_long_term_key(crypto::LongTermKey pa) { pa_ = pa; }
 
+  /// Current long-term credential (crash-recovery snapshots read it back).
+  const crypto::LongTermKey& long_term_key() const { return pa_; }
+
   State state() const { return state_; }
   const std::string& member_id() const { return member_id_; }
   bool in_session() const { return state_ != State::not_connected; }

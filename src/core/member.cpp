@@ -21,6 +21,9 @@ void Member::emit(GroupEvent event) {
 Status Member::join() {
   auto env = session_.start_join();
   if (!env) return env.error();
+  want_membership_ = true;
+  join_retry_.arm(clock_.now(), stable_salt(id_));
+  rejoin_retry_.disarm();
   if (send_) send_(leader_id_, *std::move(env));
   return Status::success();
 }
@@ -29,19 +32,26 @@ Status Member::leave() {
   auto env = session_.request_close();
   if (!env) return env.error();
   close_request_ = *env;
-  close_retransmits_left_ = 3;
+  close_retry_.arm(clock_.now(), stable_salt(id_) ^ 0xC105E);
+  want_membership_ = false;  // a voluntary leave is not to be undone by
+  rejoin_retry_.disarm();    // the auto-rejoin machinery
+  join_retry_.disarm();
   if (send_) send_(leader_id_, *std::move(env));
   // Honest members drop all group secrets on leave. (A *dishonest* past
   // member keeps them — that is the paper's threat model, exercised by the
   // attack harness, not by this class.)
+  drop_group_state();
+  emit(SessionClosed{"left"});
+  return Status::success();
+}
+
+void Member::drop_group_state() {
   have_kg_ = false;
   kg_ = crypto::GroupKey{};
   epoch_ = 0;
   view_.clear();
   next_seq_ = 0;
   last_seq_.clear();
-  emit(SessionClosed{"left"});
-  return Status::success();
 }
 
 Status Member::send_data(BytesView payload) {
@@ -65,8 +75,16 @@ void Member::handle(const wire::Envelope& e) {
   auto outcome = session_.handle(e);
   if (!outcome) return;  // rejected; tallied inside the session
 
+  // Authenticated traffic (even a benign duplicate) proves the leader is
+  // alive; feed the suspicion timer.
+  note_activity();
+
   if (outcome->reply && send_) send_(leader_id_, *outcome->reply);
-  if (outcome->became_connected) emit(SessionEstablished{});
+  if (outcome->became_connected) {
+    join_retry_.disarm();
+    rejoin_retry_.disarm();
+    emit(SessionEstablished{});
+  }
   if (outcome->admin) {
     apply_admin(*outcome->admin);
     emit(AdminAccepted{*outcome->admin});
@@ -100,12 +118,11 @@ void Member::apply_admin(const wire::AdminBody& body) {
           // Authenticated eviction: the leader has already discarded our
           // session; drop all local group state.
           session_.close_local();
-          have_kg_ = false;
-          kg_ = crypto::GroupKey{};
-          epoch_ = 0;
-          view_.clear();
-          next_seq_ = 0;
-          last_seq_.clear();
+          drop_group_state();
+          // Expulsion is not a voluntary leave: if auto-rejoin is on, come
+          // back with a fresh handshake (fresh Ka — the old one is gone).
+          if (auto_rejoin_ && want_membership_)
+            rejoin_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x4E30);
           emit(SessionClosed{"expelled: " + b.reason});
         }
       },
@@ -137,24 +154,75 @@ void Member::handle_group_data(const wire::Envelope& e) {
     }
     it->second = payload->seq;
   }
+  note_activity();  // data relayed by the leader also proves it alive
   emit(DataReceived{payload->origin, payload->payload});
 }
 
 std::size_t Member::tick() {
+  clock_.advance();
+  const Tick now = clock_.now();
   std::size_t sent = 0;
-  if (auto env = session_.pending_retransmit(); env && send_) {
-    send_(leader_id_, *std::move(env));
-    ++sent;
-  }
-  if (close_request_ && close_retransmits_left_ > 0 && send_) {
-    // Only while we stayed out of the group: a rejoin supersedes the close.
-    if (!connected() &&
-        session_.state() == MemberSession::State::not_connected) {
-      send_(leader_id_, *close_request_);
+
+  // Join-handshake retransmission (byte-identical; covers a lost request or
+  // a lost AuthKeyDist, which the leader re-answers idempotently).
+  if (auto env = session_.pending_retransmit()) {
+    if (!join_retry_.armed()) join_retry_.arm(now, stable_salt(id_));
+    if (join_retry_.due(now, retry_policy_) && send_) {
+      send_(leader_id_, *std::move(env));
+      join_retry_.record_attempt(now, retry_policy_);
       ++sent;
+    } else if (join_retry_.exhausted(retry_policy_)) {
+      // Budget spent: give this attempt up. Auto-rejoin (if enabled) will
+      // start a fresh handshake on its own schedule.
+      session_.close_local();
+      join_retry_.disarm();
+      if (auto_rejoin_ && want_membership_)
+        rejoin_retry_.arm(now, stable_salt(id_) ^ 0x4E30);
+      emit(SessionClosed{"join attempts exhausted"});
     }
-    if (--close_retransmits_left_ == 0) close_request_.reset();
+  } else {
+    join_retry_.disarm();
   }
+
+  // Best-effort ReqClose retransmission through its budgeted policy — only
+  // while we stayed out of the group: a rejoin supersedes the close.
+  if (close_request_) {
+    if (close_retry_.exhausted(close_retry_policy_)) {
+      close_request_.reset();
+      close_retry_.disarm();
+    } else if (close_retry_.due(now, close_retry_policy_)) {
+      if (session_.state() == MemberSession::State::not_connected && send_) {
+        send_(leader_id_, *close_request_);
+        ++sent;
+      }
+      close_retry_.record_attempt(now, close_retry_policy_);
+    }
+  }
+
+  // Leader suspicion: connected but silent past the idle budget. Drop the
+  // session locally; rejoin (below) re-authenticates with fresh keys, so a
+  // false suspicion costs liveness only, never safety.
+  if (suspect_after_ > 0 && connected() &&
+      now - last_activity_ >= suspect_after_) {
+    ENCLAVES_LOG(info) << id_ << ": leader silent for "
+                       << (now - last_activity_) << " ticks, suspecting";
+    session_.close_local();
+    drop_group_state();
+    if (auto_rejoin_ && want_membership_)
+      rejoin_retry_.arm(now, stable_salt(id_) ^ 0x4E30);
+    emit(SessionClosed{"leader suspected unreachable"});
+  }
+
+  // Auto-rejoin with backoff.
+  if (auto_rejoin_ && want_membership_ &&
+      session_.state() == MemberSession::State::not_connected &&
+      rejoin_retry_.armed() && rejoin_retry_.due(now, rejoin_policy_)) {
+    rejoin_retry_.record_attempt(now, rejoin_policy_);
+    ++rejoins_;
+    note_activity();  // restart the suspicion window for the new attempt
+    if (join().ok()) ++sent;
+  }
+
   return sent;
 }
 

@@ -9,6 +9,12 @@
 // *data plane* runs under the shared Kg: any current member can forge data
 // traffic including its claimed origin — intrusion tolerance of the data
 // plane is explicitly out of the paper's (and this library's) scope.
+//
+// Liveness layer (PROTOCOL.md §5, §10): all retransmission runs through
+// RetryPolicy on a virtual clock advanced by tick(). Optional recovery
+// behaviours — leader suspicion after an idle timeout and automatic rejoin
+// with backoff after expulsion or suspicion — turn a Member into a
+// self-healing participant for crash-recovery scenarios.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +25,10 @@
 
 #include "core/events.h"
 #include "core/member_session.h"
+#include "core/retry.h"
 #include "crypto/aead.h"
 #include "crypto/keys.h"
+#include "util/clock.h"
 #include "util/result.h"
 #include "wire/envelope.h"
 
@@ -40,6 +48,30 @@ class Member {
 
   const std::string& id() const { return id_; }
 
+  /// Retransmission schedule for the join handshake (default: every tick,
+  /// unlimited — the historical behaviour).
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+
+  /// Retransmission schedule for ReqClose (default: every tick, 3 attempts).
+  void set_close_retry_policy(RetryPolicy policy) {
+    close_retry_policy_ = policy;
+  }
+
+  /// Leader-liveness suspicion: after `idle_ticks` tick() calls with no
+  /// authenticated traffic while connected, declare the leader unreachable,
+  /// drop the session locally, and emit SessionClosed. 0 disables (default).
+  /// Pair with Leader::probe_liveness heartbeats so a quiet-but-alive
+  /// leader never looks dead.
+  void set_suspect_after(Tick idle_ticks) { suspect_after_ = idle_ticks; }
+
+  /// Automatic rejoin: after an expulsion, a suspected-dead leader, or an
+  /// exhausted join budget, re-initiate the handshake on `policy`'s backoff
+  /// schedule. A voluntary leave() disables rejoin until the next join().
+  void enable_auto_rejoin(RetryPolicy policy) {
+    auto_rejoin_ = true;
+    rejoin_policy_ = policy;
+  }
+
   /// Initiates the join handshake. Errc::unexpected if already joining/in.
   Status join();
 
@@ -53,9 +85,11 @@ class Member {
   /// Feeds one inbound envelope. Bad input is rejected and tallied.
   void handle(const wire::Envelope& e);
 
-  /// Retransmits a stalled join request (and a recently sent ReqClose, a
-  /// bounded number of times) byte-identically. Call on a timer over lossy
-  /// transports; no-op when nothing is pending. Returns envelopes re-sent.
+  /// Advances the virtual clock one tick and runs the liveness layer:
+  /// retransmits stalled exchanges per the retry policies (byte-identical
+  /// re-sends only), checks leader suspicion, and fires due auto-rejoins.
+  /// Call on a timer over lossy transports; no-op when nothing is pending.
+  /// Returns envelopes (re-)sent.
   std::size_t tick();
 
   bool connected() const {
@@ -77,10 +111,15 @@ class Member {
   /// Data-plane replays/forgeries rejected.
   std::uint64_t data_rejects() const { return data_rejects_; }
 
+  /// Times this member re-initiated the handshake via auto-rejoin.
+  std::uint64_t rejoins() const { return rejoins_; }
+
  private:
   void emit(GroupEvent event);
   void apply_admin(const wire::AdminBody& body);
   void handle_group_data(const wire::Envelope& e);
+  void drop_group_state();
+  void note_activity() { last_activity_ = clock_.now(); }
 
   std::string id_;
   std::string leader_id_;
@@ -98,12 +137,25 @@ class Member {
   std::map<std::string, std::uint64_t> last_seq_;  // per-origin inbound floor
   std::uint64_t data_rejects_ = 0;
 
-  // Best-effort ReqClose retransmission: the member cannot observe whether
-  // the leader processed its close (there is no close ack it could trust
-  // more than the protocol gives), so it re-sends a bounded number of
-  // times. Duplicates at the leader fail cleanly (session already closed).
+  // Liveness layer: one virtual clock, one RetryState per retransmitting
+  // exchange. The join handshake retransmits until answered (or the budget
+  // runs out); ReqClose is best-effort with a small budget — the member
+  // cannot observe whether the leader processed its close, and duplicates
+  // at the leader fail cleanly (session already closed).
+  VirtualClock clock_;
+  RetryPolicy retry_policy_ = RetryPolicy::every_tick();
+  RetryPolicy close_retry_policy_ = RetryPolicy::bounded(3);
+  RetryPolicy rejoin_policy_ = RetryPolicy::every_tick();
+  RetryState join_retry_;
+  RetryState close_retry_;
+  RetryState rejoin_retry_;
   std::optional<wire::Envelope> close_request_;
-  int close_retransmits_left_ = 0;
+
+  bool auto_rejoin_ = false;
+  bool want_membership_ = false;  // joined and never voluntarily left
+  Tick suspect_after_ = 0;
+  Tick last_activity_ = 0;
+  std::uint64_t rejoins_ = 0;
 };
 
 }  // namespace enclaves::core

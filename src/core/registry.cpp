@@ -12,6 +12,8 @@ namespace {
 constexpr std::uint32_t kMagic = 0x454E4352;  // "ENCR"
 constexpr std::uint16_t kVersion = 1;
 constexpr std::uint32_t kMaxEntries = 1 << 20;
+constexpr std::uint32_t kSnapshotMagic = 0x454E4353;  // "ENCS"
+constexpr std::uint16_t kSnapshotVersion = 1;
 }  // namespace
 
 Status Registry::add(Credential credential) {
@@ -104,6 +106,51 @@ Result<Registry> Registry::deserialize(BytesView data, BytesView storage_key) {
   }
   if (auto end = r.expect_end(); !end) return end.error();
   return reg;
+}
+
+Bytes LeaderSnapshot::serialize(BytesView storage_key) const {
+  wire::Writer w;
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u64(epoch);
+  w.var_bytes(registry.serialize(storage_key));
+  Bytes out = std::move(w).take();
+  auto tag = crypto::HmacSha256::mac(storage_key, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+Result<LeaderSnapshot> LeaderSnapshot::deserialize(BytesView data,
+                                                   BytesView storage_key) {
+  if (data.size() < crypto::HmacSha256::kTagSize)
+    return make_error(Errc::truncated, "snapshot shorter than its MAC");
+  BytesView body = data.subspan(0, data.size() - crypto::HmacSha256::kTagSize);
+  BytesView tag = data.subspan(data.size() - crypto::HmacSha256::kTagSize);
+  if (!crypto::hmac_verify(storage_key, body, tag))
+    return make_error(Errc::auth_failed, "snapshot MAC mismatch");
+
+  wire::Reader r(body);
+  auto magic = r.u32();
+  if (!magic || *magic != kSnapshotMagic)
+    return make_error(Errc::malformed, "bad snapshot magic");
+  auto version = r.u16();
+  if (!version || *version != kSnapshotVersion)
+    return make_error(Errc::malformed, "unsupported snapshot version");
+  auto epoch = r.u64();
+  if (!epoch) return epoch.error();
+  auto reg_blob = r.var_bytes();
+  if (!reg_blob) return reg_blob.error();
+  if (auto end = r.expect_end(); !end) return end.error();
+
+  auto reg = Registry::deserialize(*reg_blob, storage_key);
+  if (!reg) return reg.error();
+  return LeaderSnapshot{*std::move(reg), *epoch};
+}
+
+std::size_t LeaderSnapshot::install(Leader& leader) const {
+  std::size_t installed = registry.install(leader);
+  leader.set_epoch_floor(epoch);
+  return installed;
 }
 
 Status Registry::save_file(const std::string& path,

@@ -71,4 +71,30 @@ class Registry {
   std::map<std::string, Credential> entries_;
 };
 
+/// Everything a leader must persist to survive a crash: the credential set
+/// (so nobody re-registers passwords) and the epoch it had reached (so the
+/// restarted incarnation's first rekey strictly exceeds every epoch ever
+/// distributed — no group key issued before the crash can ever be accepted
+/// again, preserving the paper's freshness property across restarts).
+/// Session state is deliberately NOT persisted: sessions die with the
+/// process and members re-authenticate with fresh keys, exactly as the
+/// paper's model demands.
+struct LeaderSnapshot {
+  Registry registry;
+  std::uint64_t epoch = 0;
+
+  /// Versioned binary format, HMAC-SHA256-sealed under `storage_key` (the
+  /// nested registry blob carries its own MAC as well).
+  Bytes serialize(BytesView storage_key) const;
+  static Result<LeaderSnapshot> deserialize(BytesView data,
+                                            BytesView storage_key);
+
+  /// Re-arms a freshly constructed leader: installs every credential and
+  /// the epoch floor. Returns credentials installed.
+  std::size_t install(Leader& leader) const;
+
+  friend bool operator==(const LeaderSnapshot&, const LeaderSnapshot&) =
+      default;
+};
+
 }  // namespace enclaves::core

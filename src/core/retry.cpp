@@ -1,0 +1,48 @@
+#include "core/retry.h"
+
+namespace enclaves::core {
+
+namespace {
+
+// splitmix64: cheap deterministic mixer for jitter. Not cryptographic — the
+// jitter only de-synchronises retransmit storms, it protects nothing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stable_salt(std::string_view id) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (unsigned char c : id) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+Tick RetryPolicy::interval_for(std::uint32_t attempt,
+                               std::uint64_t salt) const {
+  Tick interval = initial_interval;
+  // Doubling with saturation; cap the shift so it cannot overflow.
+  const std::uint32_t shift = attempt < 63 ? attempt : 63;
+  if (shift > 0 && interval > (max_interval >> shift)) {
+    interval = max_interval;
+  } else {
+    interval <<= shift;
+    if (interval > max_interval) interval = max_interval;
+  }
+  if (interval == 0) interval = 1;
+  if (max_jitter > 0) interval += mix(salt ^ attempt) % (max_jitter + 1);
+  return interval;
+}
+
+void RetryState::record_attempt(Tick now, const RetryPolicy& policy) {
+  next_due_ = now + policy.interval_for(attempts_, salt_);
+  ++attempts_;
+}
+
+}  // namespace enclaves::core

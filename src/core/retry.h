@@ -1,0 +1,89 @@
+// Unified retry/backoff policy for every retransmitting exchange.
+//
+// The protocol's liveness layer (PROTOCOL.md §5, §10) re-sends byte-identical
+// envelopes until the peer answers. How OFTEN to re-send, when to add jitter,
+// and when to give up used to be ad-hoc per call site; RetryPolicy centralises
+// it: a first interval, exponential doubling up to a cap, deterministic
+// jitter (a pure function of salt and attempt number, so identical seeds
+// replay identically), and an optional attempt budget after which the
+// exchange is declared dead (suspect -> expel / give up).
+//
+// RetryState is the per-exchange bookkeeping: armed while an exchange is
+// pending, counting attempts, tracking when the next retransmit is due on a
+// VirtualClock. The default policy (every tick, no budget) reproduces the
+// historical behaviour of Leader::tick / Member::tick exactly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/clock.h"
+
+namespace enclaves::core {
+
+struct RetryPolicy {
+  Tick initial_interval = 1;  // ticks until the first retransmit
+  Tick max_interval = 1;      // backoff cap; == initial means fixed interval
+  Tick max_jitter = 0;        // extra ticks in [0, max_jitter], deterministic
+  std::uint32_t attempt_budget = 0;  // 0 = unlimited
+
+  /// Historical behaviour: retransmit on every tick, forever.
+  static RetryPolicy every_tick() { return {}; }
+
+  /// Every tick, at most `budget` times.
+  static RetryPolicy bounded(std::uint32_t budget) {
+    return {1, 1, 0, budget};
+  }
+
+  static RetryPolicy exponential(Tick initial, Tick cap, Tick jitter = 0,
+                                 std::uint32_t budget = 0) {
+    return {initial, cap, jitter, budget};
+  }
+
+  /// Backoff interval before attempt `attempt + 1` (0-based): initial·2^a
+  /// capped at max_interval, plus deterministic jitter derived from `salt`.
+  Tick interval_for(std::uint32_t attempt, std::uint64_t salt) const;
+};
+
+/// Stable 64-bit salt from an identity string (FNV-1a; identical across
+/// platforms, unlike std::hash, so seeded runs reproduce everywhere).
+std::uint64_t stable_salt(std::string_view id);
+
+class RetryState {
+ public:
+  /// An exchange became pending: due immediately, attempt count reset.
+  void arm(Tick now, std::uint64_t salt = 0) {
+    armed_ = true;
+    attempts_ = 0;
+    next_due_ = now;
+    salt_ = salt;
+  }
+
+  /// The exchange completed (or was abandoned).
+  void disarm() {
+    armed_ = false;
+    attempts_ = 0;
+  }
+
+  bool armed() const { return armed_; }
+  std::uint32_t attempts() const { return attempts_; }
+
+  bool due(Tick now, const RetryPolicy& policy) const {
+    return armed_ && !exhausted(policy) && now >= next_due_;
+  }
+
+  bool exhausted(const RetryPolicy& policy) const {
+    return policy.attempt_budget > 0 && attempts_ >= policy.attempt_budget;
+  }
+
+  /// Records one retransmission and schedules the next per `policy`.
+  void record_attempt(Tick now, const RetryPolicy& policy);
+
+ private:
+  bool armed_ = false;
+  std::uint32_t attempts_ = 0;
+  Tick next_due_ = 0;
+  std::uint64_t salt_ = 0;
+};
+
+}  // namespace enclaves::core

@@ -21,12 +21,39 @@ void SimNetwork::enqueue(const AgentId& to, wire::Envelope envelope) {
 void SimNetwork::send(const AgentId& to, wire::Envelope envelope) {
   if (tap_) {
     Packet preview{next_seq_, to, envelope};
-    if (tap_(preview) == TapVerdict::drop) {
-      // Dropped packets are still observable (they were on the wire).
-      preview.seq = next_seq_++;
-      log_.push_back(std::move(preview));
-      ++dropped_by_tap_;
-      return;
+    TapDecision decision = tap_(preview);
+    switch (decision.verdict) {
+      case TapVerdict::drop:
+        // Dropped packets are still observable (they were on the wire).
+        preview.seq = next_seq_++;
+        log_.push_back(std::move(preview));
+        ++dropped_by_tap_;
+        return;
+      case TapVerdict::duplicate:
+        ++duplicated_by_tap_;
+        enqueue(to, envelope);
+        enqueue(to, std::move(envelope));
+        return;
+      case TapVerdict::delay: {
+        ++delayed_by_tap_;
+        Packet p{next_seq_++, to, std::move(envelope)};
+        log_.push_back(p);
+        const std::uint64_t steps =
+            decision.delay_steps == 0 ? 1 : decision.delay_steps;
+        Held h{step_ + steps, std::move(p)};
+        // Keep held_ sorted by (release_step, seq) so release order is
+        // deterministic.
+        auto it = std::upper_bound(
+            held_.begin(), held_.end(), h, [](const Held& a, const Held& b) {
+              return a.release_step != b.release_step
+                         ? a.release_step < b.release_step
+                         : a.packet.seq < b.packet.seq;
+            });
+        held_.insert(it, std::move(h));
+        return;
+      }
+      case TapVerdict::deliver:
+        break;
     }
   }
   enqueue(to, std::move(envelope));
@@ -36,8 +63,24 @@ void SimNetwork::inject(const AgentId& to, wire::Envelope envelope) {
   enqueue(to, std::move(envelope));
 }
 
+void SimNetwork::release_due() {
+  std::size_t n = 0;
+  while (n < held_.size() && held_[n].release_step <= step_) ++n;
+  for (std::size_t i = 0; i < n; ++i)
+    queue_.push_back(std::move(held_[i].packet));
+  held_.erase(held_.begin(), held_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
 bool SimNetwork::deliver_next() {
-  if (queue_.empty()) return false;
+  release_due();
+  if (queue_.empty()) {
+    if (held_.empty()) return false;
+    // Only delayed packets remain: fast-forward to the earliest release so
+    // delay cannot deadlock an otherwise quiescent network.
+    step_ = held_.front().release_step;
+    release_due();
+  }
+  ++step_;
   Packet p = std::move(queue_.front());
   queue_.pop_front();
   auto it = handlers_.find(p.to);

@@ -7,8 +7,10 @@
 //
 // Routing is by an explicit destination agent id, deliberately separate from
 // the envelope's (untrusted) recipient field. A Tap installed on the network
-// sees every send before queueing and decides its fate — this is how the
-// adversary intercepts; injection puts arbitrary envelopes on the wire. The
+// sees every send before queueing and decides its fate — deliver, drop,
+// duplicate, or delay by N delivery steps (delaying past younger packets is
+// how reordering happens) — this is how the adversary and the fault injector
+// (fault.h) intercept; injection puts arbitrary envelopes on the wire. The
 // full traffic log is available for replay attacks.
 #pragma once
 
@@ -34,14 +36,28 @@ struct Packet {
 };
 
 enum class TapVerdict : std::uint8_t {
-  deliver,  // queue normally
-  drop,     // silently discard
+  deliver,    // queue normally
+  drop,       // silently discard
+  duplicate,  // queue twice back-to-back
+  delay,      // hold for TapDecision::delay_steps delivery steps
 };
 
-/// Observes (and may veto) every packet before it is queued. Injected
+/// A verdict plus its parameter. Implicitly constructible from a bare
+/// TapVerdict so existing deliver/drop taps keep working unchanged.
+struct TapDecision {
+  TapVerdict verdict = TapVerdict::deliver;
+  std::uint32_t delay_steps = 1;  // only meaningful for TapVerdict::delay
+
+  TapDecision() = default;
+  TapDecision(TapVerdict v) : verdict(v) {}  // NOLINT(runtime/explicit)
+  TapDecision(TapVerdict v, std::uint32_t steps)
+      : verdict(v), delay_steps(steps) {}
+};
+
+/// Observes (and may veto/mangle) every packet before it is queued. Injected
 /// packets also pass through the log but not through the tap (the adversary
 /// does not intercept itself).
-using Tap = std::function<TapVerdict(const Packet&)>;
+using Tap = std::function<TapDecision(const Packet&)>;
 
 /// Delivery callback registered by an agent.
 using Handler = std::function<void(const wire::Envelope&)>;
@@ -63,7 +79,10 @@ class SimNetwork {
   void set_tap(Tap tap) { tap_ = std::move(tap); }
   void clear_tap() { tap_ = nullptr; }
 
-  /// Delivers the oldest queued packet; false when the queue is empty.
+  /// Delivers the oldest queued packet; false when nothing is queued or
+  /// held. Held (delayed) packets re-enter the queue once their release
+  /// step arrives; when only held packets remain, time fast-forwards to the
+  /// earliest release, so delay can never deadlock the simulation.
   /// Packets to agents with no handler are dropped (counted).
   bool deliver_next();
 
@@ -75,8 +94,11 @@ class SimNetwork {
   void shuffle(Rng& rng);
 
   std::size_t queue_size() const { return queue_.size(); }
+  std::size_t held_size() const { return held_.size(); }
   std::uint64_t packets_sent() const { return next_seq_; }
   std::size_t packets_dropped_by_tap() const { return dropped_by_tap_; }
+  std::size_t packets_duplicated_by_tap() const { return duplicated_by_tap_; }
+  std::size_t packets_delayed_by_tap() const { return delayed_by_tap_; }
   std::size_t packets_unroutable() const { return unroutable_; }
 
   /// Complete traffic history (everything sent or injected), the
@@ -84,14 +106,24 @@ class SimNetwork {
   const std::vector<Packet>& log() const { return log_; }
 
  private:
+  struct Held {
+    std::uint64_t release_step;
+    Packet packet;
+  };
+
   void enqueue(const AgentId& to, wire::Envelope envelope);
+  void release_due();
 
   std::map<AgentId, Handler> handlers_;
   std::deque<Packet> queue_;
+  std::vector<Held> held_;  // sorted by (release_step, seq)
   std::vector<Packet> log_;
   Tap tap_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t step_ = 0;  // delivery steps elapsed (drives delay release)
   std::size_t dropped_by_tap_ = 0;
+  std::size_t duplicated_by_tap_ = 0;
+  std::size_t delayed_by_tap_ = 0;
   std::size_t unroutable_ = 0;
 };
 

@@ -1,0 +1,29 @@
+// Virtual time.
+//
+// The protocol layers are event-driven state machines with no intrinsic
+// notion of wall-clock time; liveness machinery (retransmission, stall
+// detection, leader suspicion) only needs a monotonic counter that advances
+// when the host decides a "tick" of real time has passed. Keeping time
+// virtual makes every timeout deterministic: a simulation step IS a tick,
+// so a fault schedule plus a seed reproduces the exact same retransmit and
+// expulsion sequence on every run.
+#pragma once
+
+#include <cstdint>
+
+namespace enclaves {
+
+/// Discrete virtual time, in ticks. A tick is whatever the driver says it
+/// is: one simulation step, one timer callback, one poll interval.
+using Tick = std::uint64_t;
+
+class VirtualClock {
+ public:
+  Tick now() const { return now_; }
+  void advance(Tick n = 1) { now_ += n; }
+
+ private:
+  Tick now_ = 0;
+};
+
+}  // namespace enclaves

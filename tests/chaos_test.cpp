@@ -1,0 +1,468 @@
+// Chaos suite: the paper's Section 5 properties as executable invariants
+// under seeded adversarial network schedules.
+//
+// Every test drives full group lifecycles (join, app traffic, rekey,
+// partition+heal, expulsion, leader crash-restart) through a FaultInjector
+// that drops, duplicates, delays/reorders and partitions traffic, all
+// reproducible from a single seed. Tracked invariants, per member, across
+// the WHOLE run (sessions, expulsions and restarts included):
+//
+//   in-order / no-duplicate — numbered admin notices arrive in strictly
+//     increasing order; delivered data sequences per origin strictly
+//     increase (within an epoch);
+//   no stale group key — accepted epochs strictly increase, even across a
+//     leader restart (epoch floor from the crash snapshot), and data sealed
+//     under a pre-restart key is rejected by everyone;
+//   view convergence — once the network quiesces, every member's view
+//     equals the leader's membership.
+//
+// A failing seed reproduces deterministically: the fault schedule is a pure
+// function of (plan, seed) and all protocol randomness flows from the same
+// seeded DeterministicRng.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "core/registry.h"
+#include "net/fault.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+#include "wire/payloads.h"
+#include "wire/seal.h"
+
+namespace enclaves::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behaviour (the engine itself, before the chaos runs).
+
+wire::Envelope plain_env(const std::string& from, const std::string& to,
+                         const std::string& body) {
+  return wire::Envelope{wire::Label::GroupData, from, to, to_bytes(body)};
+}
+
+TEST(FaultInjector, ReproducibleFromSeed) {
+  net::FaultPlan plan;
+  plan.faults = {30, 20, 20, 4};
+  auto run_schedule = [&plan] {
+    net::FaultInjector inj(plan, 99);
+    std::vector<int> verdicts;
+    for (int i = 0; i < 200; ++i) {
+      auto d = inj.decide(net::Packet{static_cast<std::uint64_t>(i), "b",
+                                      plain_env("a", "b", "x")});
+      verdicts.push_back(static_cast<int>(d.verdict) * 100 +
+                         static_cast<int>(d.delay_steps));
+    }
+    return verdicts;
+  };
+  EXPECT_EQ(run_schedule(), run_schedule());
+}
+
+TEST(FaultInjector, HonoursPerLinkOverrides) {
+  net::FaultPlan plan;
+  plan.faults = {0, 0, 0, 4};                  // default: faultless
+  plan.per_link[{"a", "b"}] = {100, 0, 0, 4};  // a->b: always dropped
+  net::FaultInjector inj(plan, 1);
+  net::SimNetwork net;
+  int b_got = 0, c_got = 0;
+  net.attach("b", [&](const wire::Envelope&) { ++b_got; });
+  net.attach("c", [&](const wire::Envelope&) { ++c_got; });
+  net.set_tap(inj.tap());
+  for (int i = 0; i < 20; ++i) {
+    net.send("b", plain_env("a", "b", "x"));
+    net.send("c", plain_env("a", "c", "x"));
+  }
+  net.run();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(c_got, 20);
+  EXPECT_EQ(inj.stats().dropped, 20u);
+}
+
+TEST(FaultInjector, ScheduledPartitionCutsAndHeals) {
+  net::FaultPlan plan;
+  plan.partitions.push_back({/*from_packet=*/5, /*until_packet=*/10, {"b"}});
+  net::FaultInjector inj(plan, 7);
+  net::SimNetwork net;
+  int delivered = 0;
+  net.attach("b", [&](const wire::Envelope&) { ++delivered; });
+  net.set_tap(inj.tap());
+  for (int i = 0; i < 15; ++i) net.send("b", plain_env("a", "b", "x"));
+  net.run();
+  EXPECT_EQ(delivered, 10);  // packets 5..9 died in the partition window
+  EXPECT_EQ(inj.stats().partition_dropped, 5u);
+}
+
+TEST(FaultInjector, ManualPartitionOnlyCutsCrossingTraffic) {
+  net::FaultPlan plan;
+  net::FaultInjector inj(plan, 3);
+  inj.partition({"a", "b"});
+  net::SimNetwork net;
+  std::map<std::string, int> got;
+  for (const char* id : {"a", "b", "c", "d"})
+    net.attach(id, [&got, id](const wire::Envelope&) { ++got[id]; });
+  net.set_tap(inj.tap());
+  net.send("b", plain_env("a", "b", "island-internal"));
+  net.send("d", plain_env("c", "d", "mainland-internal"));
+  net.send("c", plain_env("a", "c", "crossing"));
+  net.run();
+  EXPECT_EQ(got["b"], 1);
+  EXPECT_EQ(got["d"], 1);
+  EXPECT_EQ(got["c"], 0);
+  inj.heal();
+  net.send("c", plain_env("a", "c", "after heal"));
+  net.run();
+  EXPECT_EQ(got["c"], 1);
+}
+
+// ---------------------------------------------------------------------------
+// The chaos world.
+
+struct Tracker {
+  std::vector<std::uint64_t> notice_nums;  // numbered notices, arrival order
+  std::vector<std::uint64_t> epochs;       // accepted epochs, arrival order
+  std::map<std::string, std::vector<std::uint64_t>> data_seqs;  // per origin
+  std::uint64_t hb = 0;
+};
+
+struct ChaosWorld {
+  static constexpr int kMembers = 4;
+
+  ChaosWorld(std::uint64_t seed, net::FaultPlan plan)
+      : rng(seed), injector(std::move(plan), seed ^ 0xFA17) {
+    net.set_tap(injector.tap());
+    make_leader(/*snapshot=*/nullptr);
+    for (int i = 0; i < kMembers; ++i) {
+      const std::string id = member_id(i);
+      auto pa = crypto::LongTermKey::random(rng);
+      EXPECT_TRUE(leader->register_member(id, pa).ok());
+      auto m = std::make_unique<Member>(id, "L", pa, rng);
+      m->set_send([this](const std::string& to, wire::Envelope e) {
+        net.send(to, std::move(e));
+      });
+      m->set_retry_policy(RetryPolicy::exponential(1, 8, /*jitter=*/2));
+      m->set_close_retry_policy(RetryPolicy::exponential(1, 4, 1, 5));
+      m->enable_auto_rejoin(RetryPolicy::exponential(2, 16, 3));
+      m->set_suspect_after(60);
+      Tracker* tr = &trackers[id];
+      m->set_event_handler([tr](const GroupEvent& ev) {
+        if (const auto* a = std::get_if<AdminAccepted>(&ev)) {
+          if (const auto* n = std::get_if<wire::Notice>(&a->body)) {
+            if (n->text == "hb") {
+              ++tr->hb;
+            } else if (n->text.size() > 1 && n->text[0] == 'n') {
+              tr->notice_nums.push_back(
+                  std::stoull(n->text.substr(1)));
+            }
+          }
+        } else if (const auto* e2 = std::get_if<EpochChanged>(&ev)) {
+          tr->epochs.push_back(e2->epoch);
+        } else if (const auto* d = std::get_if<DataReceived>(&ev)) {
+          const std::string s = enclaves::to_string(d->payload);
+          auto at = s.find('#');
+          if (at != std::string::npos)
+            tr->data_seqs[d->origin].push_back(
+                std::stoull(s.substr(at + 1)));
+        }
+      });
+      auto* raw = m.get();
+      net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+      members[id] = std::move(m);
+    }
+  }
+
+  static std::string member_id(int i) { return "m" + std::to_string(i); }
+
+  void make_leader(const LeaderSnapshot* snapshot) {
+    LeaderConfig config;
+    config.id = "L";
+    config.rekey = RekeyPolicy::strict();
+    config.retry = RetryPolicy::exponential(1, 8, /*jitter=*/2);
+    config.auto_expel_attempts = 8;
+    leader = std::make_unique<Leader>(config, rng);
+    leader->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    if (snapshot) snapshot->install(*leader);
+    net.attach("L", [this](const wire::Envelope& e) { leader->handle(e); });
+  }
+
+  // One time step: heartbeat every 8 steps, drain, fire all timers, drain.
+  void step() {
+    if (leader && step_count % 8 == 0) leader->probe_liveness();
+    net.run(1u << 16);
+    if (leader) leader->tick();
+    for (auto& [id, m] : members) m->tick();
+    net.run(1u << 16);
+    ++step_count;
+  }
+
+  bool converged() const {
+    if (!leader) return false;
+    if (leader->member_count() != static_cast<std::size_t>(kMembers))
+      return false;
+    const auto expect = leader->members();
+    for (const auto& [id, m] : members) {
+      const LeaderSession* s = leader->session(id);
+      if (!s || s->state() != LeaderSession::State::connected ||
+          s->queue_depth() != 0)
+        return false;
+      if (!m->connected() || m->epoch() != leader->epoch()) return false;
+      if (m->view() != expect) return false;
+    }
+    return true;
+  }
+
+  // Drives steps until converged (faults stay on the whole time). Returns
+  // false if the bound was hit.
+  bool settle(int max_steps = 3000) {
+    for (int t = 0; t < max_steps; ++t) {
+      if (converged() && net.queue_size() == 0 && net.held_size() == 0)
+        return true;
+      step();
+    }
+    return converged();
+  }
+
+  void broadcast_numbered(int count) {
+    for (int i = 0; i < count; ++i) {
+      leader->broadcast_notice("n" + std::to_string(notice_counter++));
+      step();
+    }
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  net::FaultInjector injector;
+  std::unique_ptr<Leader> leader;
+  std::map<std::string, std::unique_ptr<Member>> members;
+  std::map<std::string, Tracker> trackers;
+  std::uint64_t step_count = 0;
+  std::uint64_t notice_counter = 0;
+};
+
+net::FaultPlan plan_for_seed(std::uint64_t seed) {
+  net::FaultPlan plan;
+  plan.faults.drop_pct = static_cast<std::uint32_t>((seed * 7) % 31);  // <=30%
+  plan.faults.duplicate_pct = static_cast<std::uint32_t>((seed * 3) % 16);
+  plan.faults.delay_pct = static_cast<std::uint32_t>((seed * 5) % 21);
+  plan.faults.max_delay_steps = 1 + static_cast<std::uint32_t>(seed % 6);
+  return plan;
+}
+
+void assert_strictly_increasing(const std::vector<std::uint64_t>& xs,
+                                const std::string& what) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    ASSERT_LT(xs[i - 1], xs[i])
+        << what << " out of order / duplicated at index " << i;
+  }
+}
+
+// The flagship: 50 seeds, each a full adversarial lifecycle with loss,
+// duplication, delay/reorder, one partition+heal, and one leader
+// crash-restart, with every Section 5 invariant asserted at the end.
+class ChaosLifecycle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosLifecycle, InvariantsHoldUnderSeededFaultSchedule) {
+  const std::uint64_t seed = GetParam();
+  ChaosWorld w(seed, plan_for_seed(seed));
+
+  // Phase 1: everyone joins through the fault storm.
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  ASSERT_TRUE(w.settle()) << "join phase did not converge, seed=" << seed;
+
+  // Phase 2: numbered admin traffic + app data under continuous faults.
+  w.broadcast_numbered(5);
+  for (int i = 0; i < 12; ++i) {
+    auto& m = *w.members[ChaosWorld::member_id(i % ChaosWorld::kMembers)];
+    if (m.connected() && m.has_group_key())
+      (void)m.send_data(to_bytes("d" + std::to_string(i) + "#" +
+                                 std::to_string(i)));
+    w.step();
+  }
+
+  // Phase 3: partition one member away, let the leader degrade gracefully
+  // (suspect -> backoff -> expel), then heal; auto-rejoin brings it back.
+  w.injector.partition({ChaosWorld::member_id(2)});
+  for (int t = 0; t < 60; ++t) w.step();
+  w.injector.heal();
+  ASSERT_TRUE(w.settle()) << "post-heal convergence failed, seed=" << seed;
+  w.broadcast_numbered(3);
+  ASSERT_TRUE(w.settle()) << "notice fanout failed, seed=" << seed;
+
+  // Phase 4: leader crash-restart from its snapshot. Members suspect the
+  // silence and rejoin by themselves; the epoch floor keeps keys fresh.
+  const crypto::GroupKey old_kg = w.leader->group_key();
+  const std::uint64_t old_epoch = w.leader->epoch();
+  const Bytes snapshot_blob =
+      w.leader->snapshot().serialize(to_bytes("chaos-storage-key"));
+  w.leader.reset();
+  w.net.detach("L");
+  for (int t = 0; t < 80; ++t) w.step();  // downtime: suspicion kicks in
+
+  auto restored = LeaderSnapshot::deserialize(snapshot_blob,
+                                              to_bytes("chaos-storage-key"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->registry.size(),
+            static_cast<std::size_t>(ChaosWorld::kMembers));
+  w.make_leader(&*restored);
+  ASSERT_TRUE(w.settle(4000)) << "post-restart convergence failed, seed="
+                              << seed;
+  EXPECT_GT(w.leader->epoch(), old_epoch)
+      << "epoch floor must survive the crash";
+  w.broadcast_numbered(3);
+  ASSERT_TRUE(w.settle()) << "post-restart fanout failed, seed=" << seed;
+
+  // Stale-key probe: data sealed under the pre-crash group key must be
+  // rejected by the leader and every member.
+  DeterministicRng stale_rng(seed ^ 0x57A1E);
+  const std::string origin = ChaosWorld::member_id(0);
+  wire::GroupDataPayload stale{origin, old_epoch, 10'000, to_bytes("stale")};
+  auto stale_env = wire::make_sealed(crypto::default_aead(), old_kg.view(),
+                                     stale_rng, wire::Label::GroupData,
+                                     origin, wire::kGroupRecipient,
+                                     wire::encode(stale));
+  const std::uint64_t leader_rejects_before = w.leader->rejected_inputs();
+  std::map<std::string, std::uint64_t> member_rejects_before;
+  for (auto& [id, m] : w.members)
+    member_rejects_before[id] = m->data_rejects();
+  w.net.inject("L", stale_env);
+  for (auto& [id, m] : w.members) w.net.inject(id, stale_env);
+  w.net.run();
+  EXPECT_GT(w.leader->rejected_inputs(), leader_rejects_before)
+      << "leader accepted pre-crash-keyed data";
+  for (auto& [id, m] : w.members) {
+    EXPECT_GT(m->data_rejects(), member_rejects_before[id])
+        << id << " accepted pre-crash-keyed data";
+  }
+
+  // Section 5 invariants over the whole run.
+  const auto final_view = w.leader->members();
+  for (auto& [id, m] : w.members) {
+    EXPECT_TRUE(m->connected()) << id;
+    EXPECT_EQ(m->epoch(), w.leader->epoch()) << id;
+    EXPECT_EQ(m->view(), final_view) << id << " view diverged";
+    const Tracker& tr = w.trackers[id];
+    assert_strictly_increasing(tr.notice_nums, id + " notices");
+    assert_strictly_increasing(tr.epochs, id + " epochs");
+    for (const auto& [origin2, seqs] : tr.data_seqs)
+      assert_strictly_increasing(seqs, id + " data from " + origin2);
+    EXPECT_GT(tr.hb, 0u) << id << " never saw a heartbeat";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosLifecycle,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// Same seed, two runs: bit-identical observable histories. This is the
+// "any failing seed reproduces deterministically" guarantee.
+TEST(Chaos, SameSeedReplaysIdentically) {
+  auto run = [](std::uint64_t seed) {
+    ChaosWorld w(seed, plan_for_seed(seed));
+    for (auto& [id, m] : w.members) EXPECT_TRUE(m->join().ok());
+    EXPECT_TRUE(w.settle());
+    w.broadcast_numbered(4);
+    for (int i = 0; i < 8; ++i) {
+      auto& m = *w.members[ChaosWorld::member_id(i % ChaosWorld::kMembers)];
+      if (m.connected() && m.has_group_key())
+        (void)m.send_data(to_bytes("d#" + std::to_string(i)));
+      w.step();
+    }
+    EXPECT_TRUE(w.settle());
+    return std::tuple(w.leader->epoch(), w.net.packets_sent(),
+                      w.trackers["m0"].notice_nums,
+                      w.trackers["m3"].epochs);
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(std::get<1>(run(5)), std::get<1>(run(6)))
+      << "different seeds should produce different traffic";
+}
+
+// Close handshake under loss, routed through the budgeted RetryPolicy: the
+// leaver's ReqClose is dropped repeatedly; backoff re-sends it until the
+// leader processes the close, and the budget stops the stream afterwards.
+TEST(Chaos, CloseHandshakeSurvivesLossWithBudgetedRetry) {
+  net::FaultPlan plan;  // faultless; we drop ReqClose by hand below
+  ChaosWorld w(77, plan);
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  ASSERT_TRUE(w.settle());
+
+  int closes_seen = 0;
+  w.net.set_tap([&closes_seen](const net::Packet& p) {
+    if (p.envelope.label == wire::Label::ReqClose && ++closes_seen <= 3)
+      return net::TapVerdict::drop;  // first three attempts die on the wire
+    return net::TapVerdict::deliver;
+  });
+  auto& leaver = *w.members["m0"];
+  leaver.set_close_retry_policy(RetryPolicy::bounded(5));
+  ASSERT_TRUE(leaver.leave().ok());
+  for (int t = 0; t < 10 && w.leader->is_member("m0"); ++t) w.step();
+  EXPECT_FALSE(w.leader->is_member("m0"))
+      << "close never arrived despite retries";
+  EXPECT_GE(closes_seen, 4);
+
+  // The budget caps the stream: once it drains, ticks add nothing — the
+  // member cannot observe whether the leader processed the close, so the
+  // policy is what stops the retransmissions.
+  for (int t = 0; t < 12; ++t) w.step();
+  const std::uint64_t sent_before = w.net.packets_sent();
+  bool sent_any = false;
+  for (int t = 0; t < 10; ++t) sent_any = leaver.tick() > 0 || sent_any;
+  EXPECT_FALSE(sent_any);
+  EXPECT_EQ(w.net.packets_sent(), sent_before);
+}
+
+// Expelled-then-rejoining member gets a fresh session key and never sees
+// the old group key again (satellite: Leader::expel_stalled + rejoin).
+TEST(Chaos, ExpelledMemberRejoinsWithFreshKeysOnly) {
+  net::FaultPlan plan;
+  ChaosWorld w(88, plan);
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  ASSERT_TRUE(w.settle());
+
+  auto& victim = *w.members["m1"];
+  const crypto::SessionKey old_ka = victim.session().session_key();
+  const crypto::GroupKey old_kg = w.leader->group_key();
+  const std::uint64_t old_epoch = w.leader->epoch();
+
+  // Cut m1 off; the leader's heartbeats stall on it and auto-expulsion
+  // (config.auto_expel_attempts) fires without any manual call.
+  w.injector.partition({"m1"});
+  for (int t = 0; t < 120 && w.leader->is_member("m1"); ++t) w.step();
+  EXPECT_FALSE(w.leader->is_member("m1"));
+  EXPECT_GE(w.leader->audit().count(AuditKind::member_expelled), 1u);
+
+  // Survivors rekeyed (strict policy): the old Kg is already stale.
+  EXPECT_GT(w.leader->epoch(), old_epoch);
+
+  // Heal; auto-rejoin brings m1 back with a FRESH Ka and the CURRENT Kg.
+  w.injector.heal();
+  ASSERT_TRUE(w.settle(4000));
+  EXPECT_GE(victim.rejoins(), 1u);
+  EXPECT_NE(victim.session().session_key(), old_ka)
+      << "session key must be fresh after expulsion";
+  EXPECT_EQ(victim.epoch(), w.leader->epoch());
+
+  // The old group key opens nothing it receives now.
+  DeterministicRng stale_rng(4242);
+  wire::GroupDataPayload stale{"m0", old_epoch, 9'999, to_bytes("old")};
+  auto stale_env = wire::make_sealed(crypto::default_aead(), old_kg.view(),
+                                     stale_rng, wire::Label::GroupData, "m0",
+                                     wire::kGroupRecipient,
+                                     wire::encode(stale));
+  const std::uint64_t rejects_before = victim.data_rejects();
+  w.net.inject("m1", stale_env);
+  w.net.run();
+  EXPECT_GT(victim.data_rejects(), rejects_before)
+      << "rejoined member accepted the pre-expulsion group key";
+  // And the epochs it accepted never regressed.
+  assert_strictly_increasing(w.trackers["m1"].epochs, "m1 epochs");
+}
+
+}  // namespace
+}  // namespace enclaves::core

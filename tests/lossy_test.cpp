@@ -17,7 +17,12 @@ namespace enclaves::core {
 namespace {
 
 struct LossyWorld {
-  LossyWorld(std::uint64_t seed, std::uint32_t drop_percent)
+  // Percent bands of one per-packet roll: drop, then duplicate, then delay
+  // (1..4 steps — reordering), else deliver. The historical drop-only
+  // constructor shape is the dup=delay=0 case and consumes the identical
+  // random stream, so the original scenarios replay unchanged.
+  LossyWorld(std::uint64_t seed, std::uint32_t drop_percent,
+             std::uint32_t dup_percent = 0, std::uint32_t delay_percent = 0)
       : rng(seed),
         drop_rng(seed ^ 0xD20),
         leader(LeaderConfig{"L", RekeyPolicy::strict()}, rng) {
@@ -25,9 +30,17 @@ struct LossyWorld {
       net.send(to, std::move(e));
     });
     net.attach("L", [this](const wire::Envelope& e) { leader.handle(e); });
-    net.set_tap([this, drop_percent](const net::Packet&) {
-      return drop_rng.below(100) < drop_percent ? net::TapVerdict::drop
-                                                : net::TapVerdict::deliver;
+    net.set_tap([this, drop_percent, dup_percent,
+                 delay_percent](const net::Packet&) {
+      const auto roll = drop_rng.below(100);
+      if (roll < drop_percent) return net::TapDecision{net::TapVerdict::drop};
+      if (roll < drop_percent + dup_percent)
+        return net::TapDecision{net::TapVerdict::duplicate};
+      if (roll < drop_percent + dup_percent + delay_percent)
+        return net::TapDecision{
+            net::TapVerdict::delay,
+            1 + static_cast<std::uint32_t>(drop_rng.below(4))};
+      return net::TapDecision{net::TapVerdict::deliver};
     });
   }
 
@@ -106,6 +119,51 @@ INSTANTIATE_TEST_SUITE_P(
     DropRates, LossyJoin,
     ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
                        ::testing::Values(10, 30, 50)));
+
+// Same convergence property with the full fault mix: drops AND duplicates
+// AND delays (= reordering) on every link at once.
+class MixedFaults : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedFaults, GroupConvergesUnderDropDuplicateAndDelay) {
+  LossyWorld w(GetParam(), /*drop=*/20, /*dup=*/15, /*delay=*/15);
+  const int kMembers = 4;
+  for (int i = 0; i < kMembers; ++i) {
+    auto& m = w.add("m" + std::to_string(i));
+    ASSERT_TRUE(m.join().ok());
+    for (int t = 0; t < 400 && !(m.connected() && m.has_group_key() &&
+                                 m.epoch() == w.leader.epoch());
+         ++t) {
+      w.step();
+    }
+    ASSERT_TRUE(m.connected()) << "seed=" << GetParam();
+  }
+  for (int i = 0; i < 4; ++i)
+    w.leader.broadcast_notice("mix" + std::to_string(i));
+  for (int t = 0; t < 400 && !w.converged(); ++t) w.step();
+  EXPECT_TRUE(w.converged());
+  EXPECT_EQ(w.leader.member_count(), static_cast<std::size_t>(kMembers));
+
+  auto expect = w.leader.members();
+  for (const auto& [id, m] : w.members) {
+    EXPECT_EQ(m->view(), expect) << id;
+    // Duplication and reordering on the wire never reach the admin channel:
+    // each notice exactly once, in broadcast order.
+    std::vector<std::string> notices;
+    for (const auto& body : m->rcv_log()) {
+      if (const auto* n = std::get_if<wire::Notice>(&body)) {
+        if (n->text.rfind("mix", 0) == 0) notices.push_back(n->text);
+      }
+    }
+    EXPECT_EQ(notices, (std::vector<std::string>{"mix0", "mix1", "mix2",
+                                                 "mix3"}))
+        << id;
+  }
+  EXPECT_GT(w.net.packets_duplicated_by_tap(), 0u);
+  EXPECT_GT(w.net.packets_delayed_by_tap(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedFaults,
+                         ::testing::Values<std::uint64_t>(21, 22, 23, 24));
 
 TEST(Lossy, AdminFanoutSurvivesDrops) {
   LossyWorld w(99, 0);  // start reliable for the joins

@@ -11,6 +11,8 @@
 #include "crypto/password.h"
 #include "net/sim_network.h"
 #include "util/rng.h"
+#include "wire/payloads.h"
+#include "wire/seal.h"
 
 namespace enclaves::core {
 namespace {
@@ -123,6 +125,100 @@ TEST(Recovery, LeaderRestartFromRegistry) {
     EXPECT_TRUE(alice.connected());
     EXPECT_TRUE(w.leader.is_member("alice"));
   }
+}
+
+TEST(Recovery, LeaderSnapshotRoundTripAndTamperRejection) {
+  DeterministicRng rng(6);
+  Bytes storage_key = to_bytes("snapshot-ops");
+  Registry reg;
+  ASSERT_TRUE(
+      reg.add(Credential{"alice", crypto::LongTermKey::random(rng), "pw"})
+          .ok());
+  ASSERT_TRUE(
+      reg.add(Credential{"bob", crypto::LongTermKey::random(rng), "pw"}).ok());
+  LeaderSnapshot snap{reg, 42};
+
+  Bytes blob = snap.serialize(storage_key);
+  auto back = LeaderSnapshot::deserialize(blob, storage_key);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, snap);
+
+  // Any bit flip is detected by the outer MAC.
+  Bytes tampered = blob;
+  tampered[8] ^= 1;
+  EXPECT_FALSE(LeaderSnapshot::deserialize(tampered, storage_key).ok());
+  // The wrong storage key opens nothing.
+  EXPECT_FALSE(LeaderSnapshot::deserialize(blob, to_bytes("wrong")).ok());
+
+  // install() re-arms a fresh leader: credentials present, and the NEXT
+  // epoch strictly exceeds everything distributed before the crash.
+  World w(7);
+  EXPECT_EQ(back->install(w.leader), 2u);
+  auto& alice = w.attach_member("alice", reg.find("alice")->pa);
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(alice.connected());
+  EXPECT_GT(w.leader.epoch(), 42u) << "epoch floor must hold after restore";
+}
+
+// The runbook assertion the chaos suite relies on: a member expelled via
+// expel_stalled and later rejoining gets a FRESH session key and can never
+// be talked to under the pre-expulsion group key again.
+TEST(Recovery, ExpelStalledRejoinNeverSeesOldKeys) {
+  World w(8);
+  auto pa_a = crypto::LongTermKey::random(w.rng);
+  auto pa_b = crypto::LongTermKey::random(w.rng);
+  auto& alice = w.add("alice", pa_a);
+  w.add("bob", pa_b);
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(w.members["bob"]->join().ok());
+  w.net.run();
+
+  const crypto::SessionKey old_ka = w.leader.session("bob")->session_key();
+  const crypto::GroupKey old_kg = w.leader.group_key();
+  const std::uint64_t old_epoch = w.leader.epoch();
+
+  // Bob's host freezes (messages to it vanish; nothing comes back).
+  w.net.detach("bob");
+  w.leader.probe_liveness();
+  w.net.run();
+  for (int i = 0; i < 5; ++i) {
+    w.leader.tick();
+    w.net.run();
+  }
+  ASSERT_EQ(w.leader.expel_stalled(5), std::vector<std::string>{"bob"});
+  w.net.run();
+  EXPECT_GT(w.leader.epoch(), old_epoch) << "expulsion must rekey (strict)";
+
+  // Bob returns with the same credential; the handshake issues a fresh Ka.
+  auto& bob2 = w.attach_member("bob", pa_b);
+  ASSERT_TRUE(bob2.join().ok());
+  w.net.run();
+  ASSERT_TRUE(bob2.connected());
+  EXPECT_NE(w.leader.session("bob")->session_key(), old_ka);
+  EXPECT_NE(bob2.session().session_key(), old_ka);
+  EXPECT_EQ(bob2.epoch(), w.leader.epoch());
+  EXPECT_NE(w.leader.group_key(), old_kg);
+
+  // Data sealed under the pre-expulsion group key is dead to everyone.
+  bool bob2_got_data = false;
+  bob2.set_event_handler([&bob2_got_data](const GroupEvent& ev) {
+    if (std::get_if<DataReceived>(&ev)) bob2_got_data = true;
+  });
+  DeterministicRng stale_rng(4711);
+  wire::GroupDataPayload stale{"alice", old_epoch, 999, to_bytes("old")};
+  auto stale_env = wire::make_sealed(
+      crypto::default_aead(), old_kg.view(), stale_rng, wire::Label::GroupData,
+      "alice", wire::kGroupRecipient, wire::encode(stale));
+  const std::uint64_t bob_rejects = bob2.data_rejects();
+  const std::uint64_t leader_rejects = w.leader.rejected_inputs();
+  w.net.inject("bob", stale_env);
+  w.net.inject("L", stale_env);
+  w.net.run();
+  EXPECT_FALSE(bob2_got_data);
+  EXPECT_GT(bob2.data_rejects(), bob_rejects);
+  EXPECT_GT(w.leader.rejected_inputs(), leader_rejects);
 }
 
 TEST(Recovery, StatsSnapshotTracksLifecycle) {

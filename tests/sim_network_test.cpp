@@ -110,6 +110,63 @@ TEST(SimNetwork, RunRespectsMaxSteps) {
   EXPECT_GT(net.queue_size(), 0u);
 }
 
+TEST(SimNetwork, DuplicateVerdictDeliversTwice) {
+  SimNetwork net;
+  std::vector<std::string> got;
+  net.attach("b", [&](const wire::Envelope& e) {
+    got.push_back(to_string(e.body));
+  });
+  net.set_tap([](const Packet& p) {
+    return p.envelope.sender == "noisy" ? TapVerdict::duplicate
+                                        : TapVerdict::deliver;
+  });
+  net.send("b", env(wire::Label::GroupData, "noisy", "b", "dup"));
+  net.send("b", env(wire::Label::GroupData, "quiet", "b", "one"));
+  net.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"dup", "dup", "one"}));
+  EXPECT_EQ(net.packets_duplicated_by_tap(), 1u);
+  // Both copies were really on the wire: the log shows them.
+  EXPECT_EQ(net.log().size(), 3u);
+}
+
+TEST(SimNetwork, DelayedPacketReordersPastYoungerTraffic) {
+  SimNetwork net;
+  std::vector<std::string> got;
+  net.attach("b", [&](const wire::Envelope& e) {
+    got.push_back(to_string(e.body));
+  });
+  net.set_tap([](const Packet& p) {
+    if (to_string(p.envelope.body) == "late")
+      return TapDecision{TapVerdict::delay, 3};
+    return TapDecision{TapVerdict::deliver};
+  });
+  net.send("b", env(wire::Label::GroupData, "a", "b", "late"));
+  net.send("b", env(wire::Label::GroupData, "a", "b", "1"));
+  net.send("b", env(wire::Label::GroupData, "a", "b", "2"));
+  EXPECT_EQ(net.held_size(), 1u);
+  net.run();
+  // Sent first, delivered last: delay past younger packets IS reordering.
+  EXPECT_EQ(got, (std::vector<std::string>{"1", "2", "late"}));
+  EXPECT_EQ(net.packets_delayed_by_tap(), 1u);
+  EXPECT_EQ(net.held_size(), 0u);
+}
+
+TEST(SimNetwork, DelayCannotDeadlockQuiescentNetwork) {
+  // Everything delayed, nothing queued: run() must fast-forward to the
+  // earliest release instead of reporting quiescence with traffic in limbo.
+  SimNetwork net;
+  int delivered = 0;
+  net.attach("b", [&](const wire::Envelope&) { ++delivered; });
+  net.set_tap([](const Packet&) { return TapDecision{TapVerdict::delay, 7}; });
+  for (int i = 0; i < 3; ++i)
+    net.send("b", env(wire::Label::GroupData, "a", "b", std::to_string(i)));
+  EXPECT_EQ(net.queue_size(), 0u);
+  EXPECT_EQ(net.held_size(), 3u);
+  EXPECT_EQ(net.run(), 3u);
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(net.held_size(), 0u);
+}
+
 TEST(SimNetwork, ShufflePreservesPacketSet) {
   SimNetwork net;
   std::multiset<std::string> got;

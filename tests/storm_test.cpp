@@ -139,6 +139,84 @@ TEST_P(Storm, JoinSucceedsThroughStorm) {
   EXPECT_EQ(alice.epoch(), w.leader.epoch());
 }
 
+TEST_P(Storm, GroupSurvivesStormOverReorderingTransport) {
+  // Hostile storm AND an unreliable transport at the same time: the tap
+  // duplicates and delays (= reorders) honest traffic while the attacker
+  // replays and fabricates. Ticks drive the retransmission layer; the group
+  // must still converge with nothing delivered twice or out of order.
+  World w(GetParam() ^ 3);
+  auto& alice = w.add("alice");
+  auto& bob = w.add("bob");
+  ASSERT_TRUE(alice.join().ok());
+  w.net.run();
+  ASSERT_TRUE(bob.join().ok());
+  w.net.run();
+  ASSERT_TRUE(alice.connected() && bob.connected());
+
+  std::vector<std::uint64_t> bob_data;
+  bob.set_event_handler([&bob_data](const core::GroupEvent& ev) {
+    if (const auto* d = std::get_if<core::DataReceived>(&ev))
+      bob_data.push_back(std::stoull(enclaves::to_string(d->payload)));
+  });
+
+  DeterministicRng fault_rng(GetParam() ^ 0x574);
+  w.net.set_tap([&fault_rng](const net::Packet&) {
+    const auto roll = fault_rng.below(100);
+    if (roll < 15) return net::TapDecision{net::TapVerdict::duplicate};
+    if (roll < 30)
+      return net::TapDecision{
+          net::TapVerdict::delay,
+          1 + static_cast<std::uint32_t>(fault_rng.below(4))};
+    return net::TapDecision{net::TapVerdict::deliver};
+  });
+
+  DeterministicRng attacker_rng(GetParam() ^ 0x575);
+  StormAttacker storm(w.net, attacker_rng, {"L", "alice", "bob"});
+  auto step = [&w] {
+    w.net.run(1u << 20);
+    w.leader.tick();
+    for (auto& [id, m] : w.members) m->tick();
+    w.net.run(1u << 20);
+  };
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    storm.storm(100);
+    ASSERT_TRUE(alice.send_data(to_bytes(std::to_string(i))).ok());
+    w.leader.broadcast_notice("s" + std::to_string(i));
+    step();
+  }
+  w.leader.rekey();
+  auto settled = [&w] {
+    for (const auto& [id, m] : w.members) {
+      const core::LeaderSession* s = w.leader.session(id);
+      if (!s || s->state() != core::LeaderSession::State::connected ||
+          s->queue_depth() != 0)
+        return false;
+      if (!m->connected() || m->epoch() != w.leader.epoch()) return false;
+    }
+    return true;
+  };
+  for (int t = 0; t < 400 && !settled(); ++t) step();
+  EXPECT_TRUE(settled());
+
+  // Reordering may force data rejections (per-origin sequence floor), but
+  // whatever got through is strictly increasing — no duplicate, no reorder.
+  EXPECT_FALSE(bob_data.empty());
+  for (std::size_t i = 1; i < bob_data.size(); ++i)
+    EXPECT_LT(bob_data[i - 1], bob_data[i]) << "at " << i;
+
+  // And the admin channel delivered every notice exactly once, in order.
+  std::vector<std::string> notices;
+  for (const auto& body : bob.rcv_log()) {
+    if (const auto* n = std::get_if<wire::Notice>(&body))
+      notices.push_back(n->text);
+  }
+  std::vector<std::string> expect;
+  for (std::uint64_t i = 0; i < 8; ++i)
+    expect.push_back("s" + std::to_string(i));
+  EXPECT_EQ(notices, expect);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, Storm,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
