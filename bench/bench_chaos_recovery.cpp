@@ -188,3 +188,7 @@ void BM_CrashRestartRecovery(benchmark::State& state) {
 BENCHMARK(BM_CrashRestartRecovery);
 
 }  // namespace
+
+#include "bench_json.h"
+
+ENCLAVES_BENCH_JSON_MAIN("chaos_recovery")

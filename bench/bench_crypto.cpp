@@ -129,3 +129,7 @@ void BM_AeadRejectForgery(benchmark::State& state) {
 BENCHMARK(BM_AeadRejectForgery);
 
 }  // namespace
+
+#include "bench_json.h"
+
+ENCLAVES_BENCH_JSON_MAIN("crypto")

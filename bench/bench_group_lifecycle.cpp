@@ -135,3 +135,7 @@ BENCHMARK(BM_LifecycleTcp)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+#include "bench_json.h"
+
+ENCLAVES_BENCH_JSON_MAIN("group_lifecycle")

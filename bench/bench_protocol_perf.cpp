@@ -201,3 +201,7 @@ void BM_StormAbsorption(benchmark::State& state) {
 BENCHMARK(BM_StormAbsorption)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
+
+#include "bench_json.h"
+
+ENCLAVES_BENCH_JSON_MAIN("protocol_perf")

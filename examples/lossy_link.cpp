@@ -14,6 +14,9 @@
 #include "core/member.h"
 #include "crypto/password.h"
 #include "net/sim_network.h"
+#include "net/trace_chart.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 using namespace enclaves;
@@ -21,6 +24,13 @@ using namespace enclaves;
 int main() {
   std::printf("Enclaves over a 40%%-loss link\n");
   std::printf("=============================\n\n");
+
+  // Observability (docs/OBSERVABILITY.md): attach a metrics registry and an
+  // event trace for the whole run; both are dumped at the end.
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace;
+  obs::ScopedMetricsSink metrics_sink(metrics);
+  obs::ScopedTraceSink trace_sink(trace);
 
   net::SimNetwork net;
   DeterministicRng rng(7);
@@ -110,5 +120,22 @@ int main() {
               "visible here — by design\nthe paper's guarantees cover "
               "group MANAGEMENT, which converged despite the link)\n",
               bob_got);
+
+  // What the observability layer saw: the retransmit/reanswer ledger that
+  // paid for the drops, and the tail of the protocol event trace.
+  std::printf("\nprotocol counters (fleet-wide):\n");
+  for (const char* name :
+       {"retransmits_total", "reanswers_total", "rekeys_total",
+        "data_delivered_total", "data_rejects_total"}) {
+    std::printf("  %-22s %llu\n", name,
+                static_cast<unsigned long long>(metrics.counter_total(name)));
+  }
+  auto events = trace.events();
+  const std::size_t tail = events.size() > 12 ? events.size() - 12 : 0;
+  std::printf("\nlast %zu protocol events:\n%s", events.size() - tail,
+              net::format_event_chart({events.begin() +
+                                           static_cast<std::ptrdiff_t>(tail),
+                                       events.end()})
+                  .c_str());
   return converged() ? 0 : 1;
 }

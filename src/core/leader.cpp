@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/payloads.h"
 #include "wire/seal.h"
@@ -50,6 +52,7 @@ void Leader::handle(const wire::Envelope& e) {
     auto decision = policy_->may_join(e.sender, members_.size());
     if (!decision.allow) {
       audit_.record(AuditKind::join_denied, e.sender, decision.reason);
+      obs::count(config_.id, config_.id, "join_denials_total");
       return;
     }
   }
@@ -62,11 +65,13 @@ void Leader::handle(const wire::Envelope& e) {
                         << e.sender;
     ++relay_rejects_;
     audit_.record(AuditKind::auth_reject, e.sender, "unknown sender");
+    obs::count(config_.id, config_.id, "auth_rejects_total");
     return;
   }
   LeaderSession& session = *it->second;
   const std::string member_id = it->first;
 
+  const LeaderSession::State pre = session.state();
   auto outcome = session.handle(e);
   if (!outcome) {
     // Rejected input: already tallied by the session; surface it to the
@@ -74,13 +79,49 @@ void Leader::handle(const wire::Envelope& e) {
     audit_.record(AuditKind::auth_reject, member_id,
                   std::string(wire::label_name(e.label)) + ": " +
                       outcome.error().to_string());
+    obs::count(config_.id, config_.id, "auth_rejects_total");
     return;
+  }
+
+  // Handshake phase transitions only (connected <-> waiting_for_ack
+  // flapping is the admin channel's normal breathing; admin_send/admin_ack
+  // events already carry it).
+  const LeaderSession::State post = session.state();
+  if (post != pre &&
+      (pre == LeaderSession::State::not_connected ||
+       pre == LeaderSession::State::waiting_for_key_ack ||
+       post == LeaderSession::State::not_connected ||
+       post == LeaderSession::State::waiting_for_key_ack)) {
+    if (obs::trace_sink()) {
+      std::string detail =
+          std::string(to_string(pre)) + "->" + to_string(post);
+      obs::trace(clock_.now(), obs::TraceKind::leader_phase, config_.id,
+                 config_.id, member_id, detail);
+    }
+  }
+  if (outcome->duplicate_retransmit) {
+    obs::count(config_.id, config_.id, "reanswers_total");
+    obs::trace(clock_.now(), obs::TraceKind::reanswer, config_.id, config_.id,
+               member_id, wire::label_name(e.label));
+  }
+  if (outcome->acked) {
+    obs::count(config_.id, config_.id, "admin_acks_total");
+    obs::trace(clock_.now(), obs::TraceKind::admin_ack, config_.id,
+               config_.id, member_id);
+  }
+  if (outcome->sent_admin_kind) {
+    obs::count(config_.id, config_.id, "admin_sends_total");
+    obs::trace(clock_.now(), obs::TraceKind::admin_send, config_.id,
+               config_.id, member_id, outcome->sent_admin_kind);
   }
 
   if (outcome->reply) send(member_id, *std::move(outcome->reply));
   if (outcome->authenticated) handle_member_authenticated(member_id);
   if (outcome->closed) {
     audit_.record(AuditKind::member_left, member_id);
+    obs::count(config_.id, config_.id, "leaves_total");
+    obs::trace(clock_.now(), obs::TraceKind::leave, config_.id, config_.id,
+               member_id, "req_close");
     handle_member_closed(member_id);
   }
 }
@@ -89,8 +130,13 @@ void Leader::submit_admin_to(const std::string& member_id,
                              wire::AdminBody body) {
   auto it = sessions_.find(member_id);
   assert(it != sessions_.end());
-  if (auto env = it->second->submit_admin(std::move(body)))
+  const char* kind = wire::admin_kind_name(body);
+  if (auto env = it->second->submit_admin(std::move(body))) {
+    obs::count(config_.id, config_.id, "admin_sends_total");
+    obs::trace(clock_.now(), obs::TraceKind::admin_send, config_.id,
+               config_.id, member_id, kind);
     send(member_id, *std::move(env));
+  }
 }
 
 void Leader::send_group_key_to(const std::string& member_id) {
@@ -101,6 +147,11 @@ void Leader::handle_member_authenticated(const std::string& member_id) {
   members_.insert(member_id);
   ENCLAVES_LOG(info) << config_.id << ": " << member_id << " joined";
   audit_.record(AuditKind::member_joined, member_id);
+  obs::count(config_.id, config_.id, "joins_total");
+  obs::gauge_set(config_.id, config_.id, "members",
+                 static_cast<std::int64_t>(members_.size()));
+  obs::trace(clock_.now(), obs::TraceKind::join, config_.id, config_.id,
+             member_id);
 
   // Initialize or renew the group key. Section 2.2: "The group leader
   // generates a first group key Kg when the first member is accepted."
@@ -123,6 +174,8 @@ void Leader::handle_member_authenticated(const std::string& member_id) {
 void Leader::handle_member_closed(const std::string& member_id) {
   members_.erase(member_id);
   ENCLAVES_LOG(info) << config_.id << ": " << member_id << " left";
+  obs::gauge_set(config_.id, config_.id, "members",
+                 static_cast<std::int64_t>(members_.size()));
   for (const auto& m : members_)
     submit_admin_to(m, wire::MemberLeft{member_id});
   if (config_.rekey.on_leave && !members_.empty()) rekey();
@@ -130,35 +183,39 @@ void Leader::handle_member_closed(const std::string& member_id) {
 }
 
 void Leader::handle_group_data(const wire::Envelope& e) {
-  if (!kg_initialized_) {
+  auto relay_reject = [this, &e](const char* why) {
     ++relay_rejects_;
-    audit_.record(AuditKind::relay_reject, e.sender, "no group key yet");
+    audit_.record(AuditKind::relay_reject, e.sender, why);
+    obs::count(config_.id, config_.id, "relay_rejects_total");
+    obs::trace(clock_.now(), obs::TraceKind::data_reject, config_.id,
+               config_.id, e.sender, why);
+  };
+  if (!kg_initialized_) {
+    relay_reject("no group key yet");
     return;
   }
   // Only current members may publish to the group.
   if (!members_.count(e.sender)) {
-    ++relay_rejects_;
-    audit_.record(AuditKind::relay_reject, e.sender, "not a member");
+    relay_reject("not a member");
     return;
   }
   auto plain = wire::open_sealed(aead_, kg_.view(), e);
   if (!plain) {
     // Wrong epoch key or forged: either way the relay refuses it.
-    ++relay_rejects_;
-    audit_.record(AuditKind::relay_reject, e.sender,
-                  "does not open under current Kg");
+    relay_reject("does not open under current Kg");
     return;
   }
   auto payload = wire::decode_group_data(*plain);
   if (!payload || payload->epoch != epoch_ || payload->origin != e.sender) {
-    ++relay_rejects_;
-    audit_.record(AuditKind::relay_reject, e.sender,
-                  "stale epoch or origin mismatch");
+    relay_reject("stale epoch or origin mismatch");
     return;
   }
 
   ++relayed_;
   ++data_since_rekey_;
+  obs::count(config_.id, config_.id, "relayed_total");
+  obs::observe(config_.id, config_.id, "relay_payload_bytes",
+               payload->payload.size());
   if (on_data) on_data(payload->origin, payload->payload);
 
   // Relay the envelope unchanged to every other member; ciphertext and AAD
@@ -180,6 +237,11 @@ void Leader::rekey() {
   data_since_rekey_ = 0;
   ENCLAVES_LOG(info) << config_.id << ": rekey to epoch " << epoch_;
   audit_.record(AuditKind::rekey, {}, "epoch " + std::to_string(epoch_));
+  obs::count(config_.id, config_.id, "rekeys_total");
+  obs::gauge_set(config_.id, config_.id, "epoch",
+                 static_cast<std::int64_t>(epoch_));
+  obs::trace(clock_.now(), obs::TraceKind::rekey, config_.id, config_.id, {},
+             {}, epoch_);
   for (const auto& m : members_) send_group_key_to(m);
 }
 
@@ -201,9 +263,14 @@ Result<crypto::SessionKey> Leader::expel(const std::string& member_id,
       send(member_id, *std::move(env));
   }
   const bool was_member = members_.count(member_id) > 0;
+  if (it->second->pending_retransmit())
+    obs::count(config_.id, config_.id, "exchanges_abandoned_total");
   auto old_key = it->second->force_close();
   assert(old_key.has_value());
   audit_.record(AuditKind::member_expelled, member_id, reason);
+  obs::count(config_.id, config_.id, "expulsions_total");
+  obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
+             member_id, reason);
   // Only authenticated members get a departure fan-out; tearing down a
   // mid-handshake session must not announce a member who never joined.
   if (was_member) handle_member_closed(member_id);
@@ -225,10 +292,16 @@ void Leader::shutdown_group(const std::string& reason) {
   for (const auto& [id, session] : sessions_) {
     if (session->in_session()) {
       audit_.record(AuditKind::member_expelled, id, reason);
+      obs::count(config_.id, config_.id, "expulsions_total");
+      if (session->pending_retransmit())
+        obs::count(config_.id, config_.id, "exchanges_abandoned_total");
+      obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
+                 id, reason);
       (void)session->force_close();
     }
   }
   members_.clear();
+  obs::gauge_set(config_.id, config_.id, "members", 0);
 }
 
 std::vector<std::string> Leader::members() const {
@@ -264,6 +337,9 @@ std::size_t Leader::tick() {
       sr.state.arm(now, stable_salt(id));
     }
     if (sr.state.due(now, config_.retry)) {
+      obs::count(config_.id, config_.id, "retransmits_total");
+      obs::trace(now, obs::TraceKind::retransmit, config_.id, config_.id, id,
+                 wire::label_name(env->label));
       send(id, *std::move(env));
       sr.state.record_attempt(now, config_.retry);
       ++sent;
@@ -288,15 +364,23 @@ std::vector<std::string> Leader::expel_stalled(std::uint32_t attempts) {
   for (const std::string& id : stalled_members(attempts)) {
     auto it = sessions_.find(id);
     if (it == sessions_.end() || !it->second->in_session()) continue;
+    // A stalled session by definition has an unanswered exchange in flight.
+    if (it->second->pending_retransmit())
+      obs::count(config_.id, config_.id, "exchanges_abandoned_total");
     if (members_.count(id)) {
       // A real member gone quiet: full expulsion (announce + rekey policy).
       audit_.record(AuditKind::member_expelled, id, "stalled");
+      obs::count(config_.id, config_.id, "expulsions_total");
+      obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
+                 id, "stalled");
       (void)it->second->force_close();
       handle_member_closed(id);
     } else {
       // Ghost handshake (never authenticated): discard quietly. The key
       // was never confirmed to anyone, so no Oops and no announcement.
       audit_.record(AuditKind::auth_reject, id, "ghost handshake cleared");
+      obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
+                 id, "ghost handshake");
       (void)it->second->force_close();
     }
     retry_.erase(id);

@@ -146,6 +146,7 @@ Result<LeaderSession::HandleOutcome> LeaderSession::on_auth_ack_key(
   if (!pending_.empty()) {
     wire::AdminBody body = std::move(pending_.front());
     pending_.pop_front();
+    out.sent_admin_kind = wire::admin_kind_name(body);
     out.reply = build_admin_msg(std::move(body));
   }
   return out;
@@ -191,6 +192,7 @@ Result<LeaderSession::HandleOutcome> LeaderSession::on_ack(
   if (!pending_.empty()) {
     wire::AdminBody body = std::move(pending_.front());
     pending_.pop_front();
+    out.sent_admin_kind = wire::admin_kind_name(body);
     out.reply = build_admin_msg(std::move(body));
   }
   return out;

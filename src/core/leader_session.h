@@ -73,6 +73,9 @@ class LeaderSession {
     bool acked = false;                   // an AdminMsg was acknowledged
     bool closed = false;                  // session ended (ReqClose)
     bool duplicate_retransmit = false;    // benign AuthAckKey replay answered
+    // When `reply` is an AdminMsg drained from the queue, its body's
+    // admin_kind_name (static storage); nullptr otherwise.
+    const char* sent_admin_kind = nullptr;
   };
 
   /// Feeds one envelope addressed to this session. Errors reject the input

@@ -1,5 +1,7 @@
 #include "core/member.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/payloads.h"
 #include "wire/seal.h"
@@ -22,8 +24,11 @@ Status Member::join() {
   auto env = session_.start_join();
   if (!env) return env.error();
   want_membership_ = true;
+  join_started_at_ = clock_.now();
   join_retry_.arm(clock_.now(), stable_salt(id_));
   rejoin_retry_.disarm();
+  obs::trace(clock_.now(), obs::TraceKind::member_phase, leader_id_, id_,
+             leader_id_, "NotConnected->WaitingForKey");
   if (send_) send_(leader_id_, *std::move(env));
   return Status::success();
 }
@@ -36,6 +41,8 @@ Status Member::leave() {
   want_membership_ = false;  // a voluntary leave is not to be undone by
   rejoin_retry_.disarm();    // the auto-rejoin machinery
   join_retry_.disarm();
+  obs::trace(clock_.now(), obs::TraceKind::leave, leader_id_, id_, leader_id_,
+             "left");
   if (send_) send_(leader_id_, *std::move(env));
   // Honest members drop all group secrets on leave. (A *dishonest* past
   // member keeps them — that is the paper's threat model, exercised by the
@@ -73,16 +80,29 @@ void Member::handle(const wire::Envelope& e) {
   }
 
   auto outcome = session_.handle(e);
-  if (!outcome) return;  // rejected; tallied inside the session
+  if (!outcome) {
+    obs::count(leader_id_, id_, "auth_rejects_total");
+    return;  // rejected; tallied inside the session
+  }
 
   // Authenticated traffic (even a benign duplicate) proves the leader is
   // alive; feed the suspicion timer.
   note_activity();
 
+  if (outcome->duplicate_retransmit) {
+    obs::count(leader_id_, id_, "reanswers_total");
+    obs::trace(clock_.now(), obs::TraceKind::reanswer, leader_id_, id_,
+               leader_id_, wire::label_name(e.label));
+  }
   if (outcome->reply && send_) send_(leader_id_, *outcome->reply);
   if (outcome->became_connected) {
     join_retry_.disarm();
     rejoin_retry_.disarm();
+    obs::count(leader_id_, id_, "sessions_established_total");
+    obs::observe(leader_id_, id_, "join_latency_ticks",
+                 clock_.now() - join_started_at_);
+    obs::trace(clock_.now(), obs::TraceKind::member_phase, leader_id_, id_,
+               leader_id_, "WaitingForKey->Connected");
     emit(SessionEstablished{});
   }
   if (outcome->admin) {
@@ -102,6 +122,9 @@ void Member::apply_admin(const wire::AdminBody& body) {
           // New epoch: sequence space restarts for everyone.
           last_seq_.clear();
           next_seq_ = 0;
+          obs::count(leader_id_, id_, "rekeys_applied_total");
+          obs::trace(clock_.now(), obs::TraceKind::rekey, leader_id_, id_,
+                     leader_id_, {}, epoch_);
           emit(EpochChanged{epoch_});
         } else if constexpr (std::is_same_v<T, wire::MemberJoined>) {
           view_.insert(b.member);
@@ -123,6 +146,9 @@ void Member::apply_admin(const wire::AdminBody& body) {
           // back with a fresh handshake (fresh Ka — the old one is gone).
           if (auto_rejoin_ && want_membership_)
             rejoin_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x4E30);
+          obs::count(leader_id_, id_, "expelled_total");
+          obs::trace(clock_.now(), obs::TraceKind::leave, leader_id_, id_,
+                     leader_id_, "expelled");
           emit(SessionClosed{"expelled: " + b.reason});
         }
       },
@@ -130,31 +156,45 @@ void Member::apply_admin(const wire::AdminBody& body) {
 }
 
 void Member::handle_group_data(const wire::Envelope& e) {
-  if (!connected() || !have_kg_) {
+  auto data_reject = [this, &e](const char* why) {
     ++data_rejects_;
+    obs::count(leader_id_, id_, "data_rejects_total");
+    obs::trace(clock_.now(), obs::TraceKind::data_reject, leader_id_, id_,
+               e.sender, why);
+  };
+  if (!connected() || !have_kg_) {
+    data_reject("no session or group key");
     return;
   }
   auto plain = wire::open_sealed(aead_, kg_.view(), e);
   if (!plain) {
     // Sealed under some other epoch's key, or forged by a non-member.
-    ++data_rejects_;
+    data_reject("does not open under current Kg");
     return;
   }
   auto payload = wire::decode_group_data(*plain);
   if (!payload || payload->epoch != epoch_ || payload->origin != e.sender) {
-    ++data_rejects_;
+    data_reject("stale epoch or origin mismatch");
     return;
   }
   // Per-origin strictly increasing sequence: rejects within-epoch replays.
   auto [it, inserted] = last_seq_.try_emplace(payload->origin, payload->seq);
   if (!inserted) {
     if (payload->seq <= it->second) {
-      ++data_rejects_;
+      data_reject("replayed sequence");
       return;
     }
     it->second = payload->seq;
   }
   note_activity();  // data relayed by the leader also proves it alive
+  obs::count(leader_id_, id_, "data_delivered_total");
+  if (obs::trace_sink()) {
+    // The (origin, epoch, seq) triple uniquely names one application
+    // delivery; chaos tests assert no triple is ever delivered twice.
+    std::string detail = "epoch=" + std::to_string(payload->epoch);
+    obs::trace(clock_.now(), obs::TraceKind::data_deliver, leader_id_, id_,
+               payload->origin, detail, payload->seq);
+  }
   emit(DataReceived{payload->origin, payload->payload});
 }
 
@@ -168,6 +208,9 @@ std::size_t Member::tick() {
   if (auto env = session_.pending_retransmit()) {
     if (!join_retry_.armed()) join_retry_.arm(now, stable_salt(id_));
     if (join_retry_.due(now, retry_policy_) && send_) {
+      obs::count(leader_id_, id_, "retransmits_total");
+      obs::trace(now, obs::TraceKind::retransmit, leader_id_, id_, leader_id_,
+                 wire::label_name(env->label));
       send_(leader_id_, *std::move(env));
       join_retry_.record_attempt(now, retry_policy_);
       ++sent;
@@ -178,6 +221,9 @@ std::size_t Member::tick() {
       join_retry_.disarm();
       if (auto_rejoin_ && want_membership_)
         rejoin_retry_.arm(now, stable_salt(id_) ^ 0x4E30);
+      obs::count(leader_id_, id_, "exchanges_abandoned_total");
+      obs::trace(now, obs::TraceKind::leave, leader_id_, id_, leader_id_,
+                 "join_exhausted");
       emit(SessionClosed{"join attempts exhausted"});
     }
   } else {
@@ -192,6 +238,9 @@ std::size_t Member::tick() {
       close_retry_.disarm();
     } else if (close_retry_.due(now, close_retry_policy_)) {
       if (session_.state() == MemberSession::State::not_connected && send_) {
+        obs::count(leader_id_, id_, "retransmits_total");
+        obs::trace(now, obs::TraceKind::retransmit, leader_id_, id_,
+                   leader_id_, wire::label_name(close_request_->label));
         send_(leader_id_, *close_request_);
         ++sent;
       }
@@ -210,6 +259,8 @@ std::size_t Member::tick() {
     drop_group_state();
     if (auto_rejoin_ && want_membership_)
       rejoin_retry_.arm(now, stable_salt(id_) ^ 0x4E30);
+    obs::count(leader_id_, id_, "suspicions_total");
+    obs::trace(now, obs::TraceKind::suspect, leader_id_, id_, leader_id_);
     emit(SessionClosed{"leader suspected unreachable"});
   }
 
@@ -220,6 +271,8 @@ std::size_t Member::tick() {
     rejoin_retry_.record_attempt(now, rejoin_policy_);
     ++rejoins_;
     note_activity();  // restart the suspicion window for the new attempt
+    obs::count(leader_id_, id_, "rejoins_total");
+    obs::trace(now, obs::TraceKind::rejoin, leader_id_, id_, leader_id_);
     if (join().ok()) ++sent;
   }
 

@@ -155,6 +155,7 @@ class Member {
   bool want_membership_ = false;  // joined and never voluntarily left
   Tick suspect_after_ = 0;
   Tick last_activity_ = 0;
+  Tick join_started_at_ = 0;  // when the current handshake began (obs)
   std::uint64_t rejoins_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "crypto/aead.h"
+#include "obs/metrics.h"
 #include "util/result.h"
 
 namespace enclaves::crypto {
@@ -24,6 +25,8 @@ class AesGcm final : public Aead {
   Bytes seal(BytesView key, BytesView nonce, BytesView aad,
              BytesView plaintext) const override {
     assert(key.size() == kKeySize && nonce.size() == kNonceSize);
+    obs::count("crypto", name(), "seals_total");
+    obs::count("crypto", name(), "sealed_bytes_total", plaintext.size());
     CtxPtr ctx(EVP_CIPHER_CTX_new());
     if (!ctx) throw std::bad_alloc();
     if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(),
@@ -56,6 +59,8 @@ class AesGcm final : public Aead {
   Result<Bytes> open(BytesView key, BytesView nonce, BytesView aad,
                      BytesView ct) const override {
     assert(key.size() == kKeySize && nonce.size() == kNonceSize);
+    obs::count("crypto", name(), "opens_total");
+    obs::count("crypto", name(), "opened_bytes_total", ct.size());
     if (ct.size() < kTagSize)
       return make_error(Errc::truncated, "aead ciphertext shorter than tag");
     const std::size_t body_len = ct.size() - kTagSize;
@@ -84,8 +89,10 @@ class AesGcm final : public Aead {
       throw std::runtime_error("GCM set tag failed");
 
     int fin = 0;
-    if (EVP_DecryptFinal_ex(ctx.get(), out.data() + len, &fin) != 1)
+    if (EVP_DecryptFinal_ex(ctx.get(), out.data() + len, &fin) != 1) {
+      obs::count("crypto", name(), "open_failures_total");
       return make_error(Errc::auth_failed, "gcm tag mismatch");
+    }
     return out;
   }
 };

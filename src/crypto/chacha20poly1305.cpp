@@ -6,6 +6,7 @@
 #include "crypto/chacha20.h"
 #include "crypto/ct.h"
 #include "crypto/poly1305.h"
+#include "obs/metrics.h"
 
 namespace enclaves::crypto {
 
@@ -42,6 +43,8 @@ class ChaCha20Poly1305 final : public Aead {
   Bytes seal(BytesView key, BytesView nonce, BytesView aad,
              BytesView plaintext) const override {
     assert(key.size() == kKeySize && nonce.size() == kNonceSize);
+    obs::count("crypto", name(), "seals_total");
+    obs::count("crypto", name(), "sealed_bytes_total", plaintext.size());
     ChaCha20 cipher(key, nonce, 1);
     Bytes out = cipher.transform(plaintext);
     auto tag = compute_tag(key, nonce, aad, out);
@@ -52,13 +55,17 @@ class ChaCha20Poly1305 final : public Aead {
   Result<Bytes> open(BytesView key, BytesView nonce, BytesView aad,
                      BytesView ct) const override {
     assert(key.size() == kKeySize && nonce.size() == kNonceSize);
+    obs::count("crypto", name(), "opens_total");
+    obs::count("crypto", name(), "opened_bytes_total", ct.size());
     if (ct.size() < kTagSize)
       return make_error(Errc::truncated, "aead ciphertext shorter than tag");
     BytesView body = ct.subspan(0, ct.size() - kTagSize);
     BytesView tag = ct.subspan(ct.size() - kTagSize);
     auto expect = compute_tag(key, nonce, aad, body);
-    if (!ct_equal({expect.data(), expect.size()}, tag))
+    if (!ct_equal({expect.data(), expect.size()}, tag)) {
+      obs::count("crypto", name(), "open_failures_total");
       return make_error(Errc::auth_failed, "poly1305 tag mismatch");
+    }
     ChaCha20 cipher(key, nonce, 1);
     return cipher.transform(body);
   }

@@ -1,5 +1,8 @@
 #include "net/fault.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace enclaves::net {
 
 namespace {
@@ -38,24 +41,40 @@ TapDecision FaultInjector::decide(const Packet& p) {
   // function of the packet sequence even as partitions come and go.
   const std::uint64_t roll = rng_.below(100);
 
+  // Verdict events are recorded against the injector's own deterministic
+  // clock (packets seen), since the tap has no view of any agent's ticks.
   if (crosses_partition(p, n)) {
     ++stats_.partition_dropped;
+    obs::count("net", "fault", "fault_partition_drops_total");
+    obs::trace(n, obs::TraceKind::fault_drop, "net", p.envelope.sender, p.to,
+               wire::label_name(p.envelope.label));
     return TapVerdict::drop;
   }
 
   const LinkFaults& f = faults_for(p);
   if (roll < f.drop_pct) {
     ++stats_.dropped;
+    obs::count("net", "fault", "fault_drops_total");
+    obs::trace(n, obs::TraceKind::fault_drop, "net", p.envelope.sender, p.to,
+               wire::label_name(p.envelope.label));
     return TapVerdict::drop;
   }
   if (roll < f.drop_pct + f.duplicate_pct) {
     ++stats_.duplicated;
+    obs::count("net", "fault", "fault_duplicates_total");
+    obs::trace(n, obs::TraceKind::fault_duplicate, "net", p.envelope.sender,
+               p.to, wire::label_name(p.envelope.label));
     return TapVerdict::duplicate;
   }
   if (roll < f.drop_pct + f.duplicate_pct + f.delay_pct) {
     ++stats_.delayed;
     const std::uint32_t max = f.max_delay_steps == 0 ? 1 : f.max_delay_steps;
-    return {TapVerdict::delay, 1 + static_cast<std::uint32_t>(rng_.below(max))};
+    const std::uint32_t steps =
+        1 + static_cast<std::uint32_t>(rng_.below(max));
+    obs::count("net", "fault", "fault_delays_total");
+    obs::trace(n, obs::TraceKind::fault_delay, "net", p.envelope.sender, p.to,
+               wire::label_name(p.envelope.label), steps);
+    return {TapVerdict::delay, steps};
   }
   return TapVerdict::deliver;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace enclaves::net {
@@ -13,6 +14,8 @@ void SimNetwork::attach(const AgentId& id, Handler handler) {
 void SimNetwork::detach(const AgentId& id) { handlers_.erase(id); }
 
 void SimNetwork::enqueue(const AgentId& to, wire::Envelope envelope) {
+  obs::count("net", "sim", "packets_queued_total");
+  obs::observe("net", "sim", "packet_body_bytes", envelope.body.size());
   Packet p{next_seq_++, to, std::move(envelope)};
   log_.push_back(p);
   queue_.push_back(std::move(p));
@@ -28,14 +31,17 @@ void SimNetwork::send(const AgentId& to, wire::Envelope envelope) {
         preview.seq = next_seq_++;
         log_.push_back(std::move(preview));
         ++dropped_by_tap_;
+        obs::count("net", "sim", "packets_dropped_total");
         return;
       case TapVerdict::duplicate:
         ++duplicated_by_tap_;
+        obs::count("net", "sim", "packets_duplicated_total");
         enqueue(to, envelope);
         enqueue(to, std::move(envelope));
         return;
       case TapVerdict::delay: {
         ++delayed_by_tap_;
+        obs::count("net", "sim", "packets_delayed_total");
         Packet p{next_seq_++, to, std::move(envelope)};
         log_.push_back(p);
         const std::uint64_t steps =
@@ -86,10 +92,12 @@ bool SimNetwork::deliver_next() {
   auto it = handlers_.find(p.to);
   if (it == handlers_.end()) {
     ++unroutable_;
+    obs::count("net", "sim", "packets_unroutable_total");
     ENCLAVES_LOG(debug) << "unroutable packet to " << p.to << ": "
                         << wire::describe(p.envelope);
     return true;
   }
+  obs::count("net", "sim", "packets_delivered_total");
   // Copy the handler: delivery may detach/re-attach agents.
   Handler h = it->second;
   h(p.envelope);

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace enclaves::net {
@@ -93,6 +94,8 @@ Status TcpNode::send(ConnId conn, const wire::Envelope& envelope) {
   auto it = conns_.find(conn);
   if (it == conns_.end()) return make_error(Errc::closed, "no such connection");
   Bytes framed = wire::frame(wire::encode(envelope));
+  obs::count("net", "tcp", "envelopes_sent_total");
+  obs::count("net", "tcp", "bytes_sent_total", framed.size());
   append(it->second.out, framed);
   if (!flush(conn)) return make_error(Errc::io_error, "send failed");
   return Status::success();
@@ -124,6 +127,8 @@ bool TcpNode::read_from(ConnId fd) {
   while (true) {
     ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n > 0) {
+      obs::count("net", "tcp", "bytes_received_total",
+                 static_cast<std::uint64_t>(n));
       if (auto s = it->second.decoder.feed({buf, static_cast<std::size_t>(n)});
           !s) {
         ENCLAVES_LOG(warn) << "oversized frame from fd " << fd << "; dropping";
@@ -154,6 +159,7 @@ bool TcpNode::read_from(ConnId fd) {
                          << " (" << env.error().to_string() << ")";
       continue;  // hostile bytes are ignored, not fatal
     }
+    obs::count("net", "tcp", "envelopes_received_total");
     if (cb_.on_envelope) cb_.on_envelope(fd, *env);
   }
   return true;

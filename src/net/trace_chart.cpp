@@ -47,4 +47,27 @@ std::string format_agent_chart(const std::vector<Packet>& log,
   return format_sequence_chart(log, options);
 }
 
+std::string format_event_chart(const std::vector<obs::TraceEvent>& events) {
+  std::ostringstream out;
+  for (const auto& e : events) {
+    out << "@";
+    out.width(5);
+    out.setf(std::ios::left);
+    out << e.tick;
+    out.width(10);
+    out << e.agent << " ";
+    out.width(15);
+    out << obs::trace_kind_name(e.kind);
+    if (!e.peer.empty()) {
+      out << " -> ";
+      out.width(10);
+      out << e.peer;
+    }
+    if (!e.detail.empty()) out << " [" << e.detail << "]";
+    if (e.value != 0) out << " =" << e.value;
+    out << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace enclaves::net

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/sim_network.h"
+#include "obs/trace.h"
 
 namespace enclaves::net {
 
@@ -33,5 +34,11 @@ std::string format_sequence_chart(const std::vector<Packet>& log,
 /// Convenience: only packets touching `agent` (as sender or destination).
 std::string format_agent_chart(const std::vector<Packet>& log,
                                const std::string& agent);
+
+/// Renders a protocol event trace (obs/trace.h) in the same aligned-text
+/// style as the packet charts, one event per line:
+///   @12   L          admin_send      -> alice      [new_group_key]
+/// Diffable in tests; golden-trace conformance suites commit its output.
+std::string format_event_chart(const std::vector<obs::TraceEvent>& events);
 
 }  // namespace enclaves::net

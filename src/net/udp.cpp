@@ -8,6 +8,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace enclaves::net {
@@ -52,6 +53,8 @@ Status UdpNode::send_to(std::uint16_t to_port,
                        reinterpret_cast<sockaddr*>(&addr), sizeof addr);
   if (n < 0 || static_cast<std::size_t>(n) != data.size())
     return make_error(Errc::io_error, "sendto");
+  obs::count("net", "udp", "envelopes_sent_total");
+  obs::count("net", "udp", "bytes_sent_total", data.size());
   return Status::success();
 }
 
@@ -69,13 +72,17 @@ std::size_t UdpNode::poll_once(int timeout_ms) {
     ssize_t n = ::recvfrom(fd_, buf, sizeof buf, MSG_DONTWAIT,
                            reinterpret_cast<sockaddr*>(&from), &from_len);
     if (n < 0) break;  // drained (EAGAIN) or error: either way stop
+    obs::count("net", "udp", "bytes_received_total",
+               static_cast<std::uint64_t>(n));
     auto env = wire::decode_envelope({buf, static_cast<std::size_t>(n)});
     if (!env) {
       ++decode_failures_;
+      obs::count("net", "udp", "decode_failures_total");
       ENCLAVES_LOG(debug) << "udp: undecodable datagram (" << n << "B)";
       continue;
     }
     ++handled;
+    obs::count("net", "udp", "envelopes_received_total");
     if (cb_.on_envelope) cb_.on_envelope(ntohs(from.sin_port), *env);
   }
   return handled;

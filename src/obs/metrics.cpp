@@ -1,0 +1,428 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace enclaves::obs {
+
+namespace detail {
+std::atomic<MetricsRegistry*> g_metrics_sink{nullptr};
+}
+
+void set_metrics_sink(MetricsRegistry* registry) {
+  detail::g_metrics_sink.store(registry, std::memory_order_release);
+}
+
+const std::vector<std::uint64_t>& default_histogram_bounds() {
+  static const std::vector<std::uint64_t> bounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t edge = 1; edge <= (1u << 20); edge <<= 1)
+      b.push_back(edge);
+    return b;
+  }();
+  return bounds;
+}
+
+namespace {
+
+MetricKey make_key(std::string_view group, std::string_view agent,
+                   std::string_view name) {
+  return MetricKey{std::string(group), std::string(agent), std::string(name)};
+}
+
+void observe_into(HistogramData& h, std::uint64_t value,
+                  const std::vector<std::uint64_t>& bounds) {
+  if (h.bounds.empty()) {
+    h.bounds = bounds;
+    h.counts.assign(h.bounds.size(), 0);
+  }
+  ++h.count;
+  h.sum += value;
+  auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(), value);
+  if (it == h.bounds.end()) {
+    ++h.overflow;
+  } else {
+    ++h.counts[static_cast<std::size_t>(it - h.bounds.begin())];
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::add(std::string_view group, std::string_view agent,
+                          std::string_view name, std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  data_.counters[make_key(group, agent, name)] += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view group, std::string_view agent,
+                                std::string_view name, std::int64_t value) {
+  std::lock_guard lock(mutex_);
+  data_.gauges[make_key(group, agent, name)] = value;
+}
+
+void MetricsRegistry::add_gauge(std::string_view group, std::string_view agent,
+                                std::string_view name, std::int64_t delta) {
+  std::lock_guard lock(mutex_);
+  data_.gauges[make_key(group, agent, name)] += delta;
+}
+
+void MetricsRegistry::observe(std::string_view group, std::string_view agent,
+                              std::string_view name, std::uint64_t value) {
+  observe(group, agent, name, value, default_histogram_bounds());
+}
+
+void MetricsRegistry::observe(std::string_view group, std::string_view agent,
+                              std::string_view name, std::uint64_t value,
+                              const std::vector<std::uint64_t>& bounds) {
+  std::lock_guard lock(mutex_);
+  observe_into(data_.histograms[make_key(group, agent, name)], value, bounds);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view group,
+                                       std::string_view agent,
+                                       std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = data_.counters.find(make_key(group, agent, name));
+  return it == data_.counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsRegistry::gauge(std::string_view group,
+                                    std::string_view agent,
+                                    std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = data_.gauges.find(make_key(group, agent, name));
+  return it == data_.gauges.end() ? 0 : it->second;
+}
+
+HistogramData MetricsRegistry::histogram(std::string_view group,
+                                         std::string_view agent,
+                                         std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = data_.histograms.find(make_key(group, agent, name));
+  return it == data_.histograms.end() ? HistogramData{} : it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_total(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : data_.counters)
+    if (key.name == name) total += value;
+  return total;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return data_;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  data_ = MetricsSnapshot{};
+}
+
+// ---------------------------------------------------------------------------
+// JSON export.
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_key_fields(std::string& out, const MetricKey& key) {
+  out += "\"group\":";
+  append_json_string(out, key.group);
+  out += ",\"agent\":";
+  append_json_string(out, key.agent);
+  out += ",\"name\":";
+  append_json_string(out, key.name);
+}
+
+void append_uint_array(std::string& out, const std::vector<std::uint64_t>& xs) {
+  out += '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key_fields(out, key);
+    out += ",\"value\":" + std::to_string(value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  first = true;
+  for (const auto& [key, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key_fields(out, key);
+    out += ",\"value\":" + std::to_string(value) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const auto& [key, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {";
+    append_key_fields(out, key);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"overflow\":" + std::to_string(h.overflow);
+    out += ",\"bounds\":";
+    append_uint_array(out, h.bounds);
+    out += ",\"counts\":";
+    append_uint_array(out, h.counts);
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON import — a deliberately small parser for the subset to_json emits
+// (objects, arrays, strings with the escapes above, integers). Keys inside
+// an entry object may come in any order; unknown keys are an error.
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\n' ||
+                              s[pos] == '\t' || s[pos] == '\r'))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < s.size() && s[pos] == c;
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.eat('"')) return false;
+  out.clear();
+  while (c.pos < c.s.size()) {
+    char ch = c.s[c.pos++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.pos >= c.s.size()) return false;
+      char esc = c.s[c.pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (c.pos + 4 > c.s.size()) return false;
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = c.s[c.pos++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              v |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          if (v > 0xFF) return false;  // we only ever emit control bytes
+          out += static_cast<char>(v);
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return false;
+}
+
+bool parse_int(Cursor& c, std::int64_t& out) {
+  c.skip_ws();
+  bool negative = false;
+  if (c.pos < c.s.size() && c.s[c.pos] == '-') {
+    negative = true;
+    ++c.pos;
+  }
+  if (c.pos >= c.s.size() || c.s[c.pos] < '0' || c.s[c.pos] > '9')
+    return false;
+  std::uint64_t v = 0;
+  while (c.pos < c.s.size() && c.s[c.pos] >= '0' && c.s[c.pos] <= '9')
+    v = v * 10 + static_cast<std::uint64_t>(c.s[c.pos++] - '0');
+  out = negative ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_uint(Cursor& c, std::uint64_t& out) {
+  c.skip_ws();
+  if (c.pos >= c.s.size() || c.s[c.pos] < '0' || c.s[c.pos] > '9')
+    return false;
+  out = 0;
+  while (c.pos < c.s.size() && c.s[c.pos] >= '0' && c.s[c.pos] <= '9')
+    out = out * 10 + static_cast<std::uint64_t>(c.s[c.pos++] - '0');
+  return true;
+}
+
+bool parse_uint_array(Cursor& c, std::vector<std::uint64_t>& out) {
+  if (!c.eat('[')) return false;
+  out.clear();
+  if (c.eat(']')) return true;
+  do {
+    std::uint64_t v = 0;
+    if (!parse_uint(c, v)) return false;
+    out.push_back(v);
+  } while (c.eat(','));
+  return c.eat(']');
+}
+
+// Parses one `{...}` entry: the three key fields plus whatever value fields
+// the section carries, in any order. `on_field` consumes non-key fields and
+// returns false on an unknown field name.
+template <typename OnField>
+bool parse_entry(Cursor& c, MetricKey& key, OnField on_field) {
+  if (!c.eat('{')) return false;
+  if (c.eat('}')) return false;  // an entry is never empty
+  do {
+    std::string field;
+    if (!parse_string(c, field) || !c.eat(':')) return false;
+    if (field == "group") {
+      if (!parse_string(c, key.group)) return false;
+    } else if (field == "agent") {
+      if (!parse_string(c, key.agent)) return false;
+    } else if (field == "name") {
+      if (!parse_string(c, key.name)) return false;
+    } else if (!on_field(field, c)) {
+      return false;
+    }
+  } while (c.eat(','));
+  return c.eat('}');
+}
+
+template <typename OnEntry>
+bool parse_section(Cursor& c, OnEntry on_entry) {
+  if (!c.eat('[')) return false;
+  if (c.eat(']')) return true;
+  do {
+    if (!on_entry(c)) return false;
+  } while (c.eat(','));
+  return c.eat(']');
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::from_json(std::string_view json) {
+  MetricsSnapshot snap;
+  Cursor c{json};
+  auto fail = [] {
+    return make_error(Errc::malformed, "metrics json malformed");
+  };
+
+  if (!c.eat('{')) return fail();
+  bool saw_counters = false, saw_gauges = false, saw_histograms = false;
+  do {
+    std::string section;
+    if (!parse_string(c, section) || !c.eat(':')) return fail();
+    if (section == "counters") {
+      saw_counters = true;
+      bool ok = parse_section(c, [&snap](Cursor& cur) {
+        MetricKey key;
+        std::uint64_t value = 0;
+        if (!parse_entry(cur, key, [&value](const std::string& f, Cursor& c2) {
+              return f == "value" && parse_uint(c2, value);
+            }))
+          return false;
+        snap.counters[std::move(key)] = value;
+        return true;
+      });
+      if (!ok) return fail();
+    } else if (section == "gauges") {
+      saw_gauges = true;
+      bool ok = parse_section(c, [&snap](Cursor& cur) {
+        MetricKey key;
+        std::int64_t value = 0;
+        if (!parse_entry(cur, key, [&value](const std::string& f, Cursor& c2) {
+              return f == "value" && parse_int(c2, value);
+            }))
+          return false;
+        snap.gauges[std::move(key)] = value;
+        return true;
+      });
+      if (!ok) return fail();
+    } else if (section == "histograms") {
+      saw_histograms = true;
+      bool ok = parse_section(c, [&snap](Cursor& cur) {
+        MetricKey key;
+        HistogramData h;
+        if (!parse_entry(cur, key, [&h](const std::string& f, Cursor& c2) {
+              if (f == "count") return parse_uint(c2, h.count);
+              if (f == "sum") return parse_uint(c2, h.sum);
+              if (f == "overflow") return parse_uint(c2, h.overflow);
+              if (f == "bounds") return parse_uint_array(c2, h.bounds);
+              if (f == "counts") return parse_uint_array(c2, h.counts);
+              return false;
+            }))
+          return false;
+        if (h.bounds.size() != h.counts.size()) return false;
+        snap.histograms[std::move(key)] = std::move(h);
+        return true;
+      });
+      if (!ok) return fail();
+    } else {
+      return fail();
+    }
+  } while (c.eat(','));
+  if (!c.eat('}')) return fail();
+  c.skip_ws();
+  if (c.pos != json.size()) return fail();
+  if (!saw_counters || !saw_gauges || !saw_histograms) return fail();
+  return snap;
+}
+
+}  // namespace enclaves::obs

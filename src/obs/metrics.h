@@ -1,0 +1,169 @@
+// Protocol metrics: a zero-dependency registry of monotonic counters,
+// gauges, and fixed-bucket histograms, keyed by (group, agent, name).
+//
+// The intrusion-tolerance argument (DSN'01 §3.2, §5) rests on per-message
+// properties — freshness, origin authentication, in-order no-duplicate
+// delivery — that were previously only assertable at the end of a scenario.
+// The metrics layer makes a run's dynamics (retransmits, suspicions, rekeys,
+// drops) first-class and machine-readable: tests cross-check counters
+// against fault schedules, and benchmarks export them alongside ns/op.
+//
+// Cost model: the library records nothing unless a sink is attached.
+// Instrumentation sites call the inline helpers below, which reduce to one
+// relaxed atomic load and a branch when no MetricsRegistry is installed —
+// no allocation, no locking, no formatting. With a sink attached, updates
+// take a mutex (the registry is shared mutable state and must be
+// thread-safe; simulation workloads are single-threaded and uncontended).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace enclaves::obs {
+
+/// Identity of one metric: which group it describes, which agent recorded
+/// it, and the metric name. Agents outside any group (transports, crypto
+/// providers) use a fixed group such as "net" or "crypto".
+struct MetricKey {
+  std::string group;
+  std::string agent;
+  std::string name;
+
+  auto operator<=>(const MetricKey&) const = default;
+};
+
+/// Plain-data histogram contents: `bounds[i]` is the inclusive upper edge of
+/// bucket i (values v with v <= bounds[i] land in the first such bucket);
+/// values above the last edge land in `overflow`.
+struct HistogramData {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;  // same length as bounds
+  std::uint64_t overflow = 0;
+  std::uint64_t count = 0;  // total observations
+  std::uint64_t sum = 0;    // sum of observed values
+
+  friend bool operator==(const HistogramData&, const HistogramData&) =
+      default;
+};
+
+/// An immutable copy of a registry's contents, cheap to diff and export.
+struct MetricsSnapshot {
+  std::map<MetricKey, std::uint64_t> counters;
+  std::map<MetricKey, std::int64_t> gauges;
+  std::map<MetricKey, HistogramData> histograms;
+
+  /// Stable JSON export (sorted by key; suitable for committing/diffing).
+  std::string to_json() const;
+
+  /// Parses the format to_json emits. Whitespace-tolerant; key order within
+  /// each entry object is free. Errc::malformed on anything unparseable.
+  static Result<MetricsSnapshot> from_json(std::string_view json);
+
+  friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) =
+      default;
+};
+
+/// Default histogram edges: powers of two from 1 to 2^20 — wide enough for
+/// both payload sizes in bytes and latencies in ticks.
+const std::vector<std::uint64_t>& default_histogram_bounds();
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter increment (creates the counter at 0 on first use).
+  void add(std::string_view group, std::string_view agent,
+           std::string_view name, std::uint64_t delta = 1);
+
+  /// Gauge set / delta (creates at 0 on first use).
+  void set_gauge(std::string_view group, std::string_view agent,
+                 std::string_view name, std::int64_t value);
+  void add_gauge(std::string_view group, std::string_view agent,
+                 std::string_view name, std::int64_t delta);
+
+  /// Histogram observation. The bucket layout is fixed at the histogram's
+  /// first observation: the two-argument form uses
+  /// default_histogram_bounds(); the overload pins custom edges (ascending;
+  /// later observations ignore the argument).
+  void observe(std::string_view group, std::string_view agent,
+               std::string_view name, std::uint64_t value);
+  void observe(std::string_view group, std::string_view agent,
+               std::string_view name, std::uint64_t value,
+               const std::vector<std::uint64_t>& bounds);
+
+  /// Point reads (0 / empty when the metric does not exist).
+  std::uint64_t counter(std::string_view group, std::string_view agent,
+                        std::string_view name) const;
+  std::int64_t gauge(std::string_view group, std::string_view agent,
+                     std::string_view name) const;
+  HistogramData histogram(std::string_view group, std::string_view agent,
+                          std::string_view name) const;
+
+  /// Sum of one counter name across every (group, agent) — fleet totals.
+  std::uint64_t counter_total(std::string_view name) const;
+
+  /// Consistent copy of everything (isolated from later mutation).
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+// ---------------------------------------------------------------------------
+// Global sink. The library is quiet by default: instrumentation sites write
+// to the registry installed here, or do nothing at all.
+
+namespace detail {
+extern std::atomic<MetricsRegistry*> g_metrics_sink;
+}
+
+/// Currently installed sink (nullptr = disabled). Relaxed load: attaching a
+/// sink mid-run may miss a handful of in-flight updates, never corrupts.
+inline MetricsRegistry* metrics_sink() {
+  return detail::g_metrics_sink.load(std::memory_order_acquire);
+}
+
+/// Installs `registry` as the process-wide sink (nullptr detaches). The
+/// registry must outlive its installation; the sink does not own it.
+void set_metrics_sink(MetricsRegistry* registry);
+
+/// RAII attach/detach for tests and harness scopes.
+class ScopedMetricsSink {
+ public:
+  explicit ScopedMetricsSink(MetricsRegistry& registry) {
+    set_metrics_sink(&registry);
+  }
+  ~ScopedMetricsSink() { set_metrics_sink(nullptr); }
+  ScopedMetricsSink(const ScopedMetricsSink&) = delete;
+  ScopedMetricsSink& operator=(const ScopedMetricsSink&) = delete;
+};
+
+// Instrumentation helpers: free when no sink is attached.
+
+inline void count(std::string_view group, std::string_view agent,
+                  std::string_view name, std::uint64_t delta = 1) {
+  if (MetricsRegistry* r = metrics_sink()) r->add(group, agent, name, delta);
+}
+
+inline void gauge_set(std::string_view group, std::string_view agent,
+                      std::string_view name, std::int64_t value) {
+  if (MetricsRegistry* r = metrics_sink())
+    r->set_gauge(group, agent, name, value);
+}
+
+inline void observe(std::string_view group, std::string_view agent,
+                    std::string_view name, std::uint64_t value) {
+  if (MetricsRegistry* r = metrics_sink())
+    r->observe(group, agent, name, value);
+}
+
+}  // namespace enclaves::obs

@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+namespace enclaves::obs {
+
+namespace detail {
+std::atomic<TraceLog*> g_trace_sink{nullptr};
+}
+
+void set_trace_sink(TraceLog* log) {
+  detail::g_trace_sink.store(log, std::memory_order_release);
+}
+
+std::string_view trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::leader_phase: return "leader_phase";
+    case TraceKind::member_phase: return "member_phase";
+    case TraceKind::admin_send: return "admin_send";
+    case TraceKind::admin_ack: return "admin_ack";
+    case TraceKind::retransmit: return "retransmit";
+    case TraceKind::reanswer: return "reanswer";
+    case TraceKind::suspect: return "suspect";
+    case TraceKind::expel: return "expel";
+    case TraceKind::rejoin: return "rejoin";
+    case TraceKind::rekey: return "rekey";
+    case TraceKind::join: return "join";
+    case TraceKind::leave: return "leave";
+    case TraceKind::data_deliver: return "data_deliver";
+    case TraceKind::data_reject: return "data_reject";
+    case TraceKind::fault_drop: return "fault_drop";
+    case TraceKind::fault_duplicate: return "fault_duplicate";
+    case TraceKind::fault_delay: return "fault_delay";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string TraceLog::to_jsonl() const {
+  std::vector<TraceEvent> copy = events();
+  std::string out;
+  for (const TraceEvent& e : copy) {
+    out += "{\"tick\":" + std::to_string(e.tick);
+    out += ",\"kind\":";
+    append_json_string(out, trace_kind_name(e.kind));
+    out += ",\"group\":";
+    append_json_string(out, e.group);
+    out += ",\"agent\":";
+    append_json_string(out, e.agent);
+    if (!e.peer.empty()) {
+      out += ",\"peer\":";
+      append_json_string(out, e.peer);
+    }
+    if (!e.detail.empty()) {
+      out += ",\"detail\":";
+      append_json_string(out, e.detail);
+    }
+    if (e.value != 0) out += ",\"value\":" + std::to_string(e.value);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace enclaves::obs

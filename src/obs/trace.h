@@ -1,0 +1,126 @@
+// Structured protocol event trace: typed events recorded against
+// VirtualClock ticks.
+//
+// Where metrics.h aggregates (how many retransmits), the trace preserves
+// order (which retransmit, when, between whom). The event taxonomy follows
+// the DSN'01 protocol surface: handshake phase transitions, AdminMsg
+// send/ack, retransmits, suspicion/expulsion/rejoin, rekeys, data-plane
+// delivery and rejection, and fault-injector verdicts.
+//
+// Same cost model as metrics: without an attached TraceLog the inline
+// trace() helper is one atomic load and a branch — no allocation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace enclaves::obs {
+
+enum class TraceKind : std::uint8_t {
+  leader_phase,     // leader-side session state transition (detail: old->new)
+  member_phase,     // member-side session state transition (detail: old->new)
+  admin_send,       // AdminMsg handed to the wire (detail: body kind)
+  admin_ack,        // Ack consumed by the leader (detail: body kind if known)
+  retransmit,       // timer-driven resend (detail: label resent)
+  reanswer,         // duplicate request re-answered from cache (detail: label)
+  suspect,          // member started suspecting the leader
+  expel,            // leader expelled a member (detail: reason)
+  rejoin,           // member re-entered the joining state after expulsion
+  rekey,            // new group key installed (value: epoch)
+  join,             // member authenticated into the group
+  leave,            // member left / session closed (detail: reason)
+  data_deliver,     // group data handed to the application (value: seq)
+  data_reject,      // group data refused (detail: reason)
+  fault_drop,       // injector verdict: packet dropped (detail: label)
+  fault_duplicate,  // injector verdict: packet duplicated (detail: label)
+  fault_delay,      // injector verdict: packet delayed (value: steps)
+};
+
+/// Stable lowercase name for JSONL export and chart rendering.
+std::string_view trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  Tick tick = 0;
+  TraceKind kind = TraceKind::leader_phase;
+  std::string group;
+  std::string agent;   // who recorded the event
+  std::string peer;    // counterparty, if any
+  std::string detail;  // kind-specific annotation (see enum comments)
+  std::uint64_t value = 0;  // kind-specific number (epoch, seq, steps)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent event) {
+    std::lock_guard lock(mutex_);
+    events_.push_back(std::move(event));
+  }
+
+  /// Copy of the recorded sequence, in record order.
+  std::vector<TraceEvent> events() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return events_.size();
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    events_.clear();
+  }
+
+  /// One JSON object per line, fields in declaration order; empty
+  /// peer/detail fields are omitted. Suitable for jq / diffing.
+  std::string to_jsonl() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Global sink, mirroring the metrics sink.
+
+namespace detail {
+extern std::atomic<TraceLog*> g_trace_sink;
+}
+
+inline TraceLog* trace_sink() {
+  return detail::g_trace_sink.load(std::memory_order_acquire);
+}
+
+/// Installs `log` as the process-wide trace sink (nullptr detaches). The
+/// log must outlive its installation; the sink does not own it.
+void set_trace_sink(TraceLog* log);
+
+class ScopedTraceSink {
+ public:
+  explicit ScopedTraceSink(TraceLog& log) { set_trace_sink(&log); }
+  ~ScopedTraceSink() { set_trace_sink(nullptr); }
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+};
+
+/// Records an event iff a sink is attached; otherwise free (no strings are
+/// built — the string_views are only copied after the sink check passes).
+inline void trace(Tick tick, TraceKind kind, std::string_view group,
+                  std::string_view agent, std::string_view peer = {},
+                  std::string_view detail = {}, std::uint64_t value = 0) {
+  if (TraceLog* log = trace_sink()) {
+    log->record(TraceEvent{tick, kind, std::string(group), std::string(agent),
+                           std::string(peer), std::string(detail), value});
+  }
+}
+
+}  // namespace enclaves::obs

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -7,7 +8,10 @@ namespace enclaves {
 
 namespace {
 
-LogLevel g_level = LogLevel::warn;
+// Atomic so concurrent set_log_level / threshold checks are race-free (the
+// documented contract); relaxed suffices — the level gates emission, it does
+// not order it.
+std::atomic<LogLevel> g_level{LogLevel::warn};
 std::function<void(LogLevel, const std::string&)> g_sink;
 std::mutex g_mutex;
 
@@ -25,9 +29,11 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
   std::lock_guard lock(g_mutex);

@@ -3,6 +3,17 @@
 // The library itself logs nothing by default (quiet libraries compose);
 // examples and the attack harness raise the level to narrate runs. Output
 // goes to stderr; the sink is swappable for tests.
+//
+// Thread-safety contract:
+//   - set_log_level / log_level are atomic and callable from any thread at
+//     any time; a level change becomes visible to other threads' ENCLAVES_LOG
+//     threshold checks without tearing (relaxed ordering — no synchronization
+//     of the *messages* themselves is implied).
+//   - set_log_sink may be called concurrently with logging from other
+//     threads: emission holds the same mutex as the swap, so the old sink is
+//     never entered after set_log_sink returns, and a sink is never invoked
+//     concurrently with itself. A sink must therefore not call back into
+//     set_log_sink or ENCLAVES_LOG (it would self-deadlock).
 #pragma once
 
 #include <functional>
@@ -13,12 +24,13 @@ namespace enclaves {
 
 enum class LogLevel { trace = 0, debug, info, warn, error, off };
 
-/// Current threshold; messages below it are discarded.
+/// Current threshold; messages below it are discarded. Thread-safe.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
 /// Replaces the sink (default writes "[level] message\n" to stderr).
-/// Pass nullptr to restore the default.
+/// Pass nullptr to restore the default. Thread-safe: the swap synchronizes
+/// with in-flight emissions (see the contract above).
 void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
 
 namespace detail {

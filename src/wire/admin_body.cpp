@@ -134,4 +134,25 @@ std::string describe(const AdminBody& body) {
       body);
 }
 
+const char* admin_kind_name(const AdminBody& body) {
+  return std::visit(
+      [](const auto& b) -> const char* {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, NewGroupKey>) {
+          return "new_group_key";
+        } else if constexpr (std::is_same_v<T, MemberJoined>) {
+          return "member_joined";
+        } else if constexpr (std::is_same_v<T, MemberLeft>) {
+          return "member_left";
+        } else if constexpr (std::is_same_v<T, MemberList>) {
+          return "member_list";
+        } else if constexpr (std::is_same_v<T, Notice>) {
+          return "notice";
+        } else {
+          return "expelled";
+        }
+      },
+      body);
+}
+
 }  // namespace enclaves::wire

@@ -67,4 +67,8 @@ Result<AdminBody> decode_admin_body(BytesView raw);
 /// Human-readable description for narration/logging.
 std::string describe(const AdminBody& body);
 
+/// Stable snake_case kind tag (static storage, never allocates) — used by
+/// the observability layer to label admin traffic without formatting.
+const char* admin_kind_name(const AdminBody& body);
+
 }  // namespace enclaves::wire

@@ -24,7 +24,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/leader.h"
@@ -32,6 +34,8 @@
 #include "core/registry.h"
 #include "net/fault.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "wire/payloads.h"
 #include "wire/seal.h"
@@ -236,6 +240,15 @@ struct ChaosWorld {
     }
   }
 
+  // Observability sinks live for the whole world: every chaos run records
+  // the full metrics + trace history, and the invariant tests below
+  // cross-check them against the injector's fault schedule. Declared first
+  // so the RAII sinks attach before any traffic and detach last.
+  obs::MetricsRegistry metrics;
+  obs::TraceLog trace;
+  obs::ScopedMetricsSink metrics_sink{metrics};
+  obs::ScopedTraceSink trace_sink{trace};
+
   net::SimNetwork net;
   DeterministicRng rng;
   net::FaultInjector injector;
@@ -357,6 +370,118 @@ TEST_P(ChaosLifecycle, InvariantsHoldUnderSeededFaultSchedule) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosLifecycle,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// ---------------------------------------------------------------------------
+// Metrics invariants: the observability layer's counters and traces must
+// reconcile with the injected fault schedule, for every seed.
+//
+// The timer-covered labels are the stop-and-wait exchanges the protocol
+// retransmits: AuthInitReq (member join retry), AuthKeyDist (leader handshake
+// retry), AdminMsg (leader admin retry). Every injected drop of one of those
+// is part of an exchange that either completed (so at least one later send —
+// a counted retransmit — got through, or a duplicate was re-answered) or was
+// abandoned (counted at expulsion / join exhaustion). Fire-and-forget labels
+// (GroupData, Ack, AuthAckKey, ReqClose) are excluded: dropping them is paid
+// for by the peer's retransmit of the *other* half of the exchange.
+class ChaosMetricsInvariants
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosMetricsInvariants, CountersReconcileWithFaultSchedule) {
+  const std::uint64_t seed = GetParam();
+  ChaosWorld w(seed, plan_for_seed(seed));
+
+  // A crash-free lifecycle: join storm, admin + data traffic, partition and
+  // heal. (A leader crash forgets in-flight exchanges without counting an
+  // abandonment, so the drop/retransmit ledger below only balances for a
+  // crash-free run; ChaosLifecycle covers the crash path.)
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  ASSERT_TRUE(w.settle()) << "join phase did not converge, seed=" << seed;
+  w.broadcast_numbered(4);
+  for (int i = 0; i < 8; ++i) {
+    auto& m = *w.members[ChaosWorld::member_id(i % ChaosWorld::kMembers)];
+    if (m.connected() && m.has_group_key())
+      (void)m.send_data(to_bytes("d#" + std::to_string(i)));
+    w.step();
+  }
+  w.injector.partition({ChaosWorld::member_id(1)});
+  for (int t = 0; t < 60; ++t) w.step();
+  w.injector.heal();
+  ASSERT_TRUE(w.settle(4000)) << "post-heal convergence failed, seed="
+                              << seed;
+
+  const auto events = w.trace.events();
+
+  // 1. The fault-injector's own statistics and its metrics/trace output are
+  //    three views of one schedule; they must agree exactly.
+  const auto& stats = w.injector.stats();
+  EXPECT_EQ(w.metrics.counter("net", "fault", "fault_drops_total"),
+            stats.dropped);
+  EXPECT_EQ(w.metrics.counter("net", "fault", "fault_partition_drops_total"),
+            stats.partition_dropped);
+  EXPECT_EQ(w.metrics.counter("net", "fault", "fault_duplicates_total"),
+            stats.duplicated);
+  EXPECT_EQ(w.metrics.counter("net", "fault", "fault_delays_total"),
+            stats.delayed);
+  EXPECT_EQ(w.metrics.counter("net", "sim", "packets_dropped_total"),
+            stats.dropped + stats.partition_dropped);
+  std::uint64_t drop_events = 0;
+  for (const auto& e : events)
+    if (e.kind == obs::TraceKind::fault_drop) ++drop_events;
+  EXPECT_EQ(drop_events, stats.dropped + stats.partition_dropped);
+
+  // 2. Retransmission ledger: every injected drop of a timer-covered label
+  //    is answered by a counted retransmit, re-answer, or abandonment.
+  const std::set<std::string> covered = {"AuthInitReq", "AuthKeyDist",
+                                         "AdminMsg"};
+  std::uint64_t covered_drops = 0;
+  for (const auto& e : events) {
+    if (e.kind == obs::TraceKind::fault_drop && covered.count(e.detail))
+      ++covered_drops;
+  }
+  const std::uint64_t repair = w.metrics.counter_total("retransmits_total") +
+                               w.metrics.counter_total("reanswers_total") +
+                               w.metrics.counter_total(
+                                   "exchanges_abandoned_total");
+  EXPECT_LE(covered_drops, repair)
+      << "dropped stop-and-wait traffic was never repaired, seed=" << seed;
+  if (covered_drops > 0) {
+    EXPECT_GT(w.metrics.counter_total("retransmits_total"), 0u)
+        << "drops occurred but no timer ever fired, seed=" << seed;
+  }
+
+  // 3. No duplicate application delivery: the (member, origin, epoch, seq)
+  //    coordinates of every data_deliver event are unique, regardless of
+  //    how often the injector duplicated the underlying packets.
+  std::set<std::tuple<std::string, std::string, std::string, std::uint64_t>>
+      deliveries;
+  for (const auto& e : events) {
+    if (e.kind != obs::TraceKind::data_deliver) continue;
+    auto key = std::tuple(e.agent, e.peer, e.detail, e.value);
+    EXPECT_TRUE(deliveries.insert(key).second)
+        << e.agent << " delivered twice: origin=" << e.peer << " "
+        << e.detail << " seq=" << e.value << ", seed=" << seed;
+  }
+
+  // 4. Rekey accounting: the leader's counter, its trace events, and the
+  //    audit trail all tell the same story.
+  std::uint64_t leader_rekey_events = 0;
+  for (const auto& e : events)
+    if (e.kind == obs::TraceKind::rekey && e.agent == "L")
+      ++leader_rekey_events;
+  EXPECT_EQ(w.metrics.counter("L", "L", "rekeys_total"), leader_rekey_events);
+  EXPECT_EQ(w.metrics.counter("L", "L", "rekeys_total"),
+            w.leader->audit().count(AuditKind::rekey));
+  EXPECT_GT(leader_rekey_events, 0u);
+
+  // 5. Converged end state is reflected in the gauges.
+  EXPECT_EQ(w.metrics.gauge("L", "L", "members"),
+            static_cast<std::int64_t>(ChaosWorld::kMembers));
+  EXPECT_EQ(w.metrics.gauge("L", "L", "epoch"),
+            static_cast<std::int64_t>(w.leader->epoch()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMetricsInvariants,
                          ::testing::Range<std::uint64_t>(1, 51));
 
 // Same seed, two runs: bit-identical observable histories. This is the

@@ -1,0 +1,121 @@
+// Regression tests for the logging thread-safety contract (util/logging.h):
+// set_log_level is atomic, and set_log_sink synchronizes with concurrent
+// emission — the old sink is never entered after the swap returns, and a
+// sink is never invoked concurrently with itself. Run under TSan these
+// tests also catch reintroduced data races on the level or the sink.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace enclaves {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::warn);  // library default
+  }
+};
+
+TEST_F(LoggingTest, SinkReceivesLevelAndMessage) {
+  std::vector<std::pair<LogLevel, std::string>> got;
+  set_log_sink([&got](LogLevel level, const std::string& msg) {
+    got.emplace_back(level, msg);
+  });
+  set_log_level(LogLevel::info);
+  ENCLAVES_LOG(info) << "hello " << 42;
+  ENCLAVES_LOG(debug) << "filtered out";
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, LogLevel::info);
+  EXPECT_EQ(got[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, ConcurrentLevelChangesAndEmission) {
+  std::atomic<std::uint64_t> delivered{0};
+  set_log_sink([&delivered](LogLevel, const std::string&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  });
+  set_log_level(LogLevel::trace);
+
+  std::atomic<bool> stop{false};
+  std::thread toggler([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      set_log_level(LogLevel::off);
+      set_log_level(LogLevel::trace);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < 2000; ++i)
+        ENCLAVES_LOG(info) << "writer " << t << " msg " << i;
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  toggler.join();
+  // With the level flapping, some messages are filtered — but nothing tears
+  // or crashes, and at most one delivery per emission happens.
+  EXPECT_LE(delivered.load(), 4u * 2000u);
+}
+
+TEST_F(LoggingTest, SinkSwapDuringConcurrentEmission) {
+  set_log_level(LogLevel::trace);
+
+  // Each generation's sink counts into its own slot. After a swap returns,
+  // the retired generation's count must never move again.
+  constexpr int kGenerations = 50;
+  std::vector<std::atomic<std::uint64_t>> counts(kGenerations);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed))
+        ENCLAVES_LOG(info) << "spin";
+    });
+  }
+
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    auto* slot = &counts[gen];
+    set_log_sink([slot](LogLevel, const std::string&) {
+      slot->fetch_add(1, std::memory_order_relaxed);
+    });
+    std::this_thread::yield();
+    set_log_sink(nullptr);  // contract: `slot` is dead after this returns
+    std::uint64_t frozen = counts[gen].load();
+    std::this_thread::yield();
+    EXPECT_EQ(counts[gen].load(), frozen)
+        << "old sink entered after set_log_sink returned (gen " << gen << ")";
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+}
+
+TEST_F(LoggingTest, SinkNeverInvokedConcurrentlyWithItself) {
+  set_log_level(LogLevel::trace);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  set_log_sink([&](LogLevel, const std::string&) {
+    if (inside.fetch_add(1) != 0) overlapped.store(true);
+    std::this_thread::yield();  // widen the window
+    inside.fetch_sub(1);
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([] {
+      for (int i = 0; i < 500; ++i) ENCLAVES_LOG(warn) << "w";
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_FALSE(overlapped.load());
+}
+
+}  // namespace
+}  // namespace enclaves

@@ -1,0 +1,222 @@
+// Observability layer: metrics registry semantics (counter monotonicity,
+// histogram bucketing, snapshot isolation, JSON round-trip) and trace-event
+// ordering against VirtualClock ticks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace enclaves::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterMonotonicity) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.counter("g", "a", "ops_total"), 0u);
+  r.add("g", "a", "ops_total");
+  r.add("g", "a", "ops_total", 4);
+  EXPECT_EQ(r.counter("g", "a", "ops_total"), 5u);
+  // Distinct keys are independent.
+  r.add("g", "b", "ops_total", 7);
+  EXPECT_EQ(r.counter("g", "a", "ops_total"), 5u);
+  EXPECT_EQ(r.counter("g", "b", "ops_total"), 7u);
+  EXPECT_EQ(r.counter_total("ops_total"), 12u);
+  EXPECT_EQ(r.counter_total("nonexistent"), 0u);
+}
+
+TEST(MetricsRegistry, Gauges) {
+  MetricsRegistry r;
+  r.set_gauge("g", "a", "depth", 5);
+  r.add_gauge("g", "a", "depth", -2);
+  EXPECT_EQ(r.gauge("g", "a", "depth"), 3);
+  r.set_gauge("g", "a", "depth", -10);
+  EXPECT_EQ(r.gauge("g", "a", "depth"), -10);
+  EXPECT_EQ(r.gauge("g", "a", "missing"), 0);
+}
+
+TEST(MetricsRegistry, HistogramBucketing) {
+  MetricsRegistry r;
+  const std::vector<std::uint64_t> bounds = {10, 100};
+  r.observe("g", "a", "lat", 5, bounds);     // <= 10
+  r.observe("g", "a", "lat", 10, bounds);    // <= 10 (inclusive edge)
+  r.observe("g", "a", "lat", 11, bounds);    // <= 100
+  r.observe("g", "a", "lat", 1000, bounds);  // overflow
+  HistogramData h = r.histogram("g", "a", "lat");
+  ASSERT_EQ(h.bounds, bounds);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.overflow, 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 1026u);
+}
+
+TEST(MetricsRegistry, HistogramDefaultBoundsAndPinning) {
+  MetricsRegistry r;
+  r.observe("g", "a", "size", 3);
+  HistogramData h = r.histogram("g", "a", "size");
+  EXPECT_EQ(h.bounds, default_histogram_bounds());
+  EXPECT_EQ(h.bounds.front(), 1u);
+  EXPECT_EQ(h.bounds.back(), 1u << 20);
+  // The layout is pinned at first observation; later custom bounds are
+  // ignored for this histogram.
+  r.observe("g", "a", "size", 3, {5, 50});
+  h = r.histogram("g", "a", "size");
+  EXPECT_EQ(h.bounds, default_histogram_bounds());
+  EXPECT_EQ(h.count, 2u);
+}
+
+TEST(MetricsRegistry, SnapshotIsolation) {
+  MetricsRegistry r;
+  r.add("g", "a", "ops_total", 3);
+  MetricsSnapshot snap = r.snapshot();
+  r.add("g", "a", "ops_total", 100);
+  r.set_gauge("g", "a", "depth", 1);
+  EXPECT_EQ(snap.counters.at(MetricKey{"g", "a", "ops_total"}), 3u);
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_EQ(r.counter("g", "a", "ops_total"), 103u);
+}
+
+TEST(MetricsRegistry, Reset) {
+  MetricsRegistry r;
+  r.add("g", "a", "ops_total", 3);
+  r.observe("g", "a", "lat", 4);
+  r.reset();
+  EXPECT_EQ(r.counter("g", "a", "ops_total"), 0u);
+  EXPECT_EQ(r.histogram("g", "a", "lat").count, 0u);
+}
+
+TEST(MetricsSnapshot, JsonRoundTrip) {
+  MetricsRegistry r;
+  r.add("group-1", "agent/x", "ops_total", 42);
+  r.add("group-1", "weird \"name\"\\with\nescapes", "ops_total", 1);
+  r.set_gauge("group-1", "agent/x", "depth", -7);
+  r.observe("group-1", "agent/x", "lat", 5, {10, 100});
+  r.observe("group-1", "agent/x", "lat", 1000, {10, 100});
+
+  MetricsSnapshot before = r.snapshot();
+  std::string json = before.to_json();
+  auto after = MetricsSnapshot::from_json(json);
+  ASSERT_TRUE(after.ok()) << after.error().to_string();
+  EXPECT_EQ(*after, before);
+}
+
+TEST(MetricsSnapshot, EmptyRoundTrip) {
+  MetricsSnapshot empty;
+  auto parsed = MetricsSnapshot::from_json(empty.to_json());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, empty);
+}
+
+TEST(MetricsSnapshot, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(MetricsSnapshot::from_json("").ok());
+  EXPECT_FALSE(MetricsSnapshot::from_json("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::from_json("{}").ok());  // sections missing
+  EXPECT_FALSE(MetricsSnapshot::from_json(
+                   R"({"counters": [], "gauges": []})")
+                   .ok());  // histograms missing
+  EXPECT_FALSE(MetricsSnapshot::from_json(
+                   R"({"counters": [{"group":"g","agent":"a","name":"n",)"
+                   R"("value":1,"bogus":2}], "gauges": [], "histograms": []})")
+                   .ok());  // unknown field
+  // Trailing garbage after the top-level object.
+  MetricsSnapshot empty;
+  EXPECT_FALSE(MetricsSnapshot::from_json(empty.to_json() + "x").ok());
+}
+
+TEST(MetricsSink, HelpersAreQuietWithoutSink) {
+  ASSERT_EQ(metrics_sink(), nullptr);
+  // Must be a no-op, not a crash.
+  count("g", "a", "ops_total");
+  gauge_set("g", "a", "depth", 1);
+  observe("g", "a", "lat", 5);
+}
+
+TEST(MetricsSink, ScopedAttachDetach) {
+  MetricsRegistry r;
+  {
+    ScopedMetricsSink sink(r);
+    ASSERT_EQ(metrics_sink(), &r);
+    count("g", "a", "ops_total", 2);
+    gauge_set("g", "a", "depth", 9);
+    observe("g", "a", "lat", 5);
+  }
+  EXPECT_EQ(metrics_sink(), nullptr);
+  count("g", "a", "ops_total", 100);  // after detach: dropped
+  EXPECT_EQ(r.counter("g", "a", "ops_total"), 2u);
+  EXPECT_EQ(r.gauge("g", "a", "depth"), 9);
+  EXPECT_EQ(r.histogram("g", "a", "lat").count, 1u);
+}
+
+TEST(TraceLog, OrderingUnderVirtualClock) {
+  VirtualClock clock;
+  TraceLog log;
+  ScopedTraceSink sink(log);
+
+  trace(clock.now(), TraceKind::join, "G", "L", "alice");
+  clock.advance();
+  trace(clock.now(), TraceKind::admin_send, "G", "L", "alice",
+        "new_group_key");
+  clock.advance(3);
+  trace(clock.now(), TraceKind::admin_ack, "G", "L", "alice");
+  trace(clock.now(), TraceKind::rekey, "G", "L", {}, {}, 2);
+
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Record order is preserved and ticks are non-decreasing.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].tick, events[i].tick);
+  EXPECT_EQ(events[0].tick, 0u);
+  EXPECT_EQ(events[1].tick, 1u);
+  EXPECT_EQ(events[2].tick, 4u);
+  EXPECT_EQ(events[3].tick, 4u);
+  EXPECT_EQ(events[1].kind, TraceKind::admin_send);
+  EXPECT_EQ(events[1].detail, "new_group_key");
+  EXPECT_EQ(events[3].value, 2u);
+}
+
+TEST(TraceLog, QuietWithoutSink) {
+  ASSERT_EQ(trace_sink(), nullptr);
+  trace(0, TraceKind::join, "G", "L", "alice");  // dropped, no crash
+  TraceLog log;
+  {
+    ScopedTraceSink sink(log);
+    trace(1, TraceKind::join, "G", "L", "alice");
+  }
+  trace(2, TraceKind::leave, "G", "L", "alice");  // after detach: dropped
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(TraceLog, JsonlExport) {
+  TraceLog log;
+  log.record(TraceEvent{7, TraceKind::admin_send, "G", "L", "alice",
+                        "notice", 0});
+  log.record(TraceEvent{8, TraceKind::rekey, "G", "L", "", "", 3});
+  std::string jsonl = log.to_jsonl();
+  EXPECT_EQ(jsonl,
+            "{\"tick\":7,\"kind\":\"admin_send\",\"group\":\"G\","
+            "\"agent\":\"L\",\"peer\":\"alice\",\"detail\":\"notice\"}\n"
+            "{\"tick\":8,\"kind\":\"rekey\",\"group\":\"G\",\"agent\":\"L\","
+            "\"value\":3}\n");
+}
+
+TEST(TraceKindNames, AllDistinct) {
+  // Every kind renders to a distinct, non-"unknown" name (JSONL consumers
+  // key on it).
+  std::set<std::string_view> names;
+  for (int k = 0; k <= static_cast<int>(TraceKind::fault_delay); ++k) {
+    std::string_view name = trace_kind_name(static_cast<TraceKind>(k));
+    EXPECT_NE(name, "unknown");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(TraceKind::fault_delay) + 1);
+}
+
+}  // namespace
+}  // namespace enclaves::obs
