@@ -25,6 +25,7 @@ Status Leader::register_member(const std::string& member_id,
     if (on_oops) on_oops(member_id, k);
   };
   sessions_.emplace(member_id, std::move(session));
+  if (on_credential_added) on_credential_added(member_id, pa);
   return Status::success();
 }
 
@@ -33,6 +34,7 @@ Status Leader::update_credential(const std::string& member_id,
   auto it = sessions_.find(member_id);
   if (it == sessions_.end()) return make_error(Errc::unknown_peer, member_id);
   it->second->set_long_term_key(pa);
+  if (on_credential_updated) on_credential_updated(member_id, pa);
   return Status::success();
 }
 
@@ -242,6 +244,7 @@ void Leader::rekey() {
                  static_cast<std::int64_t>(epoch_));
   obs::trace(clock_.now(), obs::TraceKind::rekey, config_.id, config_.id, {},
              {}, epoch_);
+  if (on_rekey) on_rekey(epoch_);
   for (const auto& m : members_) send_group_key_to(m);
 }
 
@@ -271,6 +274,7 @@ Result<crypto::SessionKey> Leader::expel(const std::string& member_id,
   obs::count(config_.id, config_.id, "expulsions_total");
   obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
              member_id, reason);
+  if (was_member && on_member_expelled) on_member_expelled(member_id, reason);
   // Only authenticated members get a departure fan-out; tearing down a
   // mid-handshake session must not announce a member who never joined.
   if (was_member) handle_member_closed(member_id);
@@ -297,6 +301,8 @@ void Leader::shutdown_group(const std::string& reason) {
         obs::count(config_.id, config_.id, "exchanges_abandoned_total");
       obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
                  id, reason);
+      if (members_.count(id) && on_member_expelled)
+        on_member_expelled(id, reason);
       (void)session->force_close();
     }
   }
@@ -373,6 +379,7 @@ std::vector<std::string> Leader::expel_stalled(std::uint32_t attempts) {
       obs::count(config_.id, config_.id, "expulsions_total");
       obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
                  id, "stalled");
+      if (on_member_expelled) on_member_expelled(id, "stalled");
       (void)it->second->force_close();
       handle_member_closed(id);
     } else {

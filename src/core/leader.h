@@ -184,6 +184,20 @@ class Leader {
   /// ReqClose — the paper's Oops(Ka) event.
   std::function<void(const std::string&, const crypto::SessionKey&)> on_oops;
 
+  // HA replication hooks (optional): fired after every durable admin-state
+  // change, in the order it took effect, so a replicator (src/ha/) can
+  // stream deltas to a warm standby. Together with on_member_joined /
+  // on_member_left above they cover everything snapshot() persists.
+  std::function<void(const std::string&, const crypto::LongTermKey&)>
+      on_credential_added;
+  std::function<void(const std::string&, const crypto::LongTermKey&)>
+      on_credential_updated;
+  /// Fires with the new epoch after each rekey (the group key itself is
+  /// never replicated: a promoted leader always issues a fresh Kg).
+  std::function<void(std::uint64_t)> on_rekey;
+  std::function<void(const std::string&, const std::string&)>
+      on_member_expelled;
+
  private:
   void send(const std::string& to, wire::Envelope e);
   void submit_admin_to(const std::string& member_id, wire::AdminBody body);

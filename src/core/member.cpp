@@ -106,16 +106,59 @@ void Member::handle(const wire::Envelope& e) {
     emit(SessionEstablished{});
   }
   if (outcome->admin) {
-    apply_admin(*outcome->admin);
-    emit(AdminAccepted{*outcome->admin});
+    // A fenced admin body was authenticated but rejected on group-state
+    // grounds (stale epoch from a deposed leader) — not "accepted".
+    if (apply_admin(*outcome->admin)) emit(AdminAccepted{*outcome->admin});
   }
 }
 
-void Member::apply_admin(const wire::AdminBody& body) {
-  std::visit(
-      [this](const auto& b) {
+void Member::set_failover_targets(std::vector<std::string> targets) {
+  failover_targets_ = std::move(targets);
+  if (failover_targets_.empty()) return;
+  for (std::size_t i = 0; i < failover_targets_.size(); ++i) {
+    if (failover_targets_[i] == leader_id_) {
+      target_idx_ = i;
+      return;
+    }
+  }
+  failover_targets_.insert(failover_targets_.begin(), leader_id_);
+  target_idx_ = 0;
+}
+
+void Member::advance_failover_target() {
+  if (failover_targets_.size() < 2) return;
+  target_idx_ = (target_idx_ + 1) % failover_targets_.size();
+  const std::string& next = failover_targets_[target_idx_];
+  if (next == leader_id_) return;
+  if (!session_.retarget(next).ok()) return;  // handshake live: keep target
+  obs::count(leader_id_, id_, "failover_retargets_total");
+  obs::trace(clock_.now(), obs::TraceKind::rejoin, leader_id_, id_, next,
+             "retarget");
+  leader_id_ = next;
+}
+
+bool Member::apply_admin(const wire::AdminBody& body) {
+  return std::visit(
+      [this](const auto& b) -> bool {
         using T = std::decay_t<decltype(b)>;
         if constexpr (std::is_same_v<T, wire::NewGroupKey>) {
+          if (b.epoch < epoch_floor_) {
+            // Epoch fence (PROTOCOL.md §11): a key older than one we have
+            // already accepted can only come from a leader that was deposed
+            // by a failover — obeying it would fork the group. Drop the
+            // session and let rejoin find the live leader.
+            ++epochs_fenced_;
+            obs::count(leader_id_, id_, "epoch_fenced_total");
+            obs::trace(clock_.now(), obs::TraceKind::fence, leader_id_, id_,
+                       leader_id_, "stale_epoch", b.epoch);
+            session_.close_local();
+            drop_group_state();
+            if (auto_rejoin_ && want_membership_)
+              rejoin_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x4E30);
+            emit(SessionClosed{"epoch fenced"});
+            return false;
+          }
+          epoch_floor_ = b.epoch;
           kg_ = b.key;
           epoch_ = b.epoch;
           have_kg_ = true;
@@ -151,6 +194,7 @@ void Member::apply_admin(const wire::AdminBody& body) {
                      leader_id_, "expelled");
           emit(SessionClosed{"expelled: " + b.reason});
         }
+        return true;
       },
       body);
 }
@@ -264,11 +308,14 @@ std::size_t Member::tick() {
     emit(SessionClosed{"leader suspected unreachable"});
   }
 
-  // Auto-rejoin with backoff.
+  // Auto-rejoin with backoff. Each firing advances the failover target
+  // round-robin (no-op without set_failover_targets), so a join budget
+  // exhausted against a dead leader rolls over to the promoted standby.
   if (auto_rejoin_ && want_membership_ &&
       session_.state() == MemberSession::State::not_connected &&
       rejoin_retry_.armed() && rejoin_retry_.due(now, rejoin_policy_)) {
     rejoin_retry_.record_attempt(now, rejoin_policy_);
+    advance_failover_target();
     ++rejoins_;
     note_activity();  // restart the suspicion window for the new attempt
     obs::count(leader_id_, id_, "rejoins_total");

@@ -72,6 +72,16 @@ class Member {
     rejoin_policy_ = policy;
   }
 
+  /// HA failover (PROTOCOL.md §11): the ordered list of leader candidates
+  /// this member may authenticate to — the active leader plus any warm
+  /// standbys holding the replicated credential. Each time auto-rejoin
+  /// fires, the member advances round-robin to the next candidate, so a
+  /// dead leader is abandoned after one exhausted join budget and the
+  /// promoted standby is reached on the following attempt. If the current
+  /// leader is absent from `targets` it is prepended. Empty list (default)
+  /// disables cycling: every rejoin goes back to the original leader.
+  void set_failover_targets(std::vector<std::string> targets);
+
   /// Initiates the join handshake. Errc::unexpected if already joining/in.
   Status join();
 
@@ -98,6 +108,17 @@ class Member {
   bool has_group_key() const { return have_kg_; }
   std::uint64_t epoch() const { return epoch_; }
 
+  /// The leader this member currently targets (changes under failover).
+  const std::string& leader_id() const { return leader_id_; }
+
+  /// Epoch fence: the highest epoch ever accepted. A NewGroupKey below this
+  /// floor is evidence of a deposed leader and is rejected — the split-brain
+  /// guard of PROTOCOL.md §11. Survives drop_group_state() by design.
+  std::uint64_t epoch_floor() const { return epoch_floor_; }
+
+  /// NewGroupKey messages rejected by the epoch fence.
+  std::uint64_t epochs_fenced() const { return epochs_fenced_; }
+
   /// This member's view of the group (including itself once listed).
   std::vector<std::string> view() const;
 
@@ -116,9 +137,11 @@ class Member {
 
  private:
   void emit(GroupEvent event);
-  void apply_admin(const wire::AdminBody& body);
+  /// Returns false when the body was fenced (rejected, session dropped).
+  bool apply_admin(const wire::AdminBody& body);
   void handle_group_data(const wire::Envelope& e);
   void drop_group_state();
+  void advance_failover_target();
   void note_activity() { last_activity_ = clock_.now(); }
 
   std::string id_;
@@ -157,6 +180,15 @@ class Member {
   Tick last_activity_ = 0;
   Tick join_started_at_ = 0;  // when the current handshake began (obs)
   std::uint64_t rejoins_ = 0;
+
+  // HA failover (PROTOCOL.md §11). epoch_floor_ deliberately survives
+  // drop_group_state(): the fence must hold across suspicion, expulsion and
+  // rejoin, or a resurrected pre-failover leader could roll the member back
+  // onto a stale group key.
+  std::vector<std::string> failover_targets_;
+  std::size_t target_idx_ = 0;
+  std::uint64_t epoch_floor_ = 0;
+  std::uint64_t epochs_fenced_ = 0;
 };
 
 }  // namespace enclaves::core

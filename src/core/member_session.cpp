@@ -195,4 +195,14 @@ void MemberSession::close_local() {
   rcv_log_.clear();
 }
 
+Status MemberSession::retarget(std::string leader_id) {
+  if (state_ != State::not_connected)
+    return make_error(Errc::unexpected, "retarget while in session");
+  leader_id_ = std::move(leader_id);
+  // Cached envelopes from the previous leader would neither decrypt nor
+  // address correctly under the new one; drop them all.
+  close_local();
+  return Status::success();
+}
+
 }  // namespace enclaves::core

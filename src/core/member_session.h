@@ -77,6 +77,13 @@ class MemberSession {
   /// Expelled admin message arrived): there is nobody left to notify.
   void close_local();
 
+  /// Repoints the FSM at a different leader (HA failover: the member's next
+  /// join handshake targets the promoted standby, which holds the same
+  /// replicated credential). Only legal while not_connected; all cached
+  /// handshake/ack state from the previous leader is discarded.
+  /// Errc::unexpected while a session or handshake is live.
+  Status retarget(std::string leader_id);
+
   /// Session key; only meaningful while connected.
   const crypto::SessionKey& session_key() const { return ka_; }
 

@@ -1,0 +1,33 @@
+#include "ha/repl_log.h"
+
+namespace enclaves::ha {
+
+std::uint64_t ReplLog::append(wire::ReplDeltaPayload delta) {
+  delta.seq = ++head_;
+  entries_.emplace(head_, std::move(delta));
+  return head_;
+}
+
+void ReplLog::ack(std::uint64_t seq) {
+  if (seq <= acked_) return;
+  // An ack beyond head would mean the standby applied deltas we never
+  // emitted; clamp rather than trust it (the stream is authenticated, but a
+  // buggy peer must not be able to poison our bookkeeping).
+  if (seq > head_) seq = head_;
+  acked_ = seq;
+  entries_.erase(entries_.begin(), entries_.upper_bound(seq));
+}
+
+std::vector<const wire::ReplDeltaPayload*> ReplLog::unacked() const {
+  std::vector<const wire::ReplDeltaPayload*> out;
+  out.reserve(entries_.size());
+  for (const auto& [seq, delta] : entries_) out.push_back(&delta);
+  return out;
+}
+
+const wire::ReplDeltaPayload* ReplLog::find(std::uint64_t seq) const {
+  auto it = entries_.find(seq);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace enclaves::ha

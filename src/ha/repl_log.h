@@ -1,0 +1,52 @@
+// Replication log — the active leader's epoch-fenced record of admin-state
+// deltas awaiting standby acknowledgement (PROTOCOL.md §11).
+//
+// Each delta is keyed by a 1-based, strictly increasing sequence number
+// assigned at append time; (epoch, seq) uniquely names one admin-state
+// change for the lifetime of the active/standby pairing. The log retains
+// only the unacknowledged suffix: a cumulative ack from the standby prunes
+// everything at or below it, so memory is bounded by the replication lag,
+// not by group history. Anything the standby missed beyond the retained
+// suffix is repaired with a full snapshot resync, never by rewinding seq.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "wire/repl.h"
+
+namespace enclaves::ha {
+
+class ReplLog {
+ public:
+  /// Appends one delta, assigning it the next sequence number (returned).
+  /// The caller fills every field except `seq`.
+  std::uint64_t append(wire::ReplDeltaPayload delta);
+
+  /// Highest sequence number ever assigned (0 = empty history).
+  std::uint64_t head() const { return head_; }
+
+  /// Highest cumulatively acknowledged sequence number.
+  std::uint64_t acked() const { return acked_; }
+
+  /// Records a cumulative acknowledgement and prunes entries <= seq.
+  /// Acks never regress: a stale (lower) ack is a no-op.
+  void ack(std::uint64_t seq);
+
+  /// Deltas above the ack floor, in sequence order (retransmission set).
+  std::vector<const wire::ReplDeltaPayload*> unacked() const;
+
+  /// Entry by sequence number, or nullptr if pruned / never assigned.
+  const wire::ReplDeltaPayload* find(std::uint64_t seq) const;
+
+  /// Retained (unacknowledged) entry count.
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::uint64_t, wire::ReplDeltaPayload> entries_;
+  std::uint64_t head_ = 0;
+  std::uint64_t acked_ = 0;
+};
+
+}  // namespace enclaves::ha

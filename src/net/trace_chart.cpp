@@ -70,4 +70,13 @@ std::string format_event_chart(const std::vector<obs::TraceEvent>& events) {
   return out.str();
 }
 
+std::string format_event_chart_tail(const std::vector<obs::TraceEvent>& events,
+                                    std::size_t n) {
+  if (events.size() <= n) return format_event_chart(events);
+  std::vector<obs::TraceEvent> tail(events.end() - static_cast<long>(n),
+                                    events.end());
+  return "... " + std::to_string(events.size() - n) + " earlier\n" +
+         format_event_chart(tail);
+}
+
 }  // namespace enclaves::net

@@ -41,4 +41,10 @@ std::string format_agent_chart(const std::vector<Packet>& log,
 /// Diffable in tests; golden-trace conformance suites commit its output.
 std::string format_event_chart(const std::vector<obs::TraceEvent>& events);
 
+/// The last `n` events of the trace in format_event_chart style, preceded by
+/// an elision marker when the trace is longer. For post-incident displays —
+/// e.g. a failover demo printing the promotion tail of a long churn run.
+std::string format_event_chart_tail(const std::vector<obs::TraceEvent>& events,
+                                    std::size_t n);
+
 }  // namespace enclaves::net

@@ -29,6 +29,11 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::fault_drop: return "fault_drop";
     case TraceKind::fault_duplicate: return "fault_duplicate";
     case TraceKind::fault_delay: return "fault_delay";
+    case TraceKind::repl_delta: return "repl_delta";
+    case TraceKind::repl_snapshot: return "repl_snapshot";
+    case TraceKind::repl_gap: return "repl_gap";
+    case TraceKind::promote: return "promote";
+    case TraceKind::fence: return "fence";
   }
   return "unknown";
 }

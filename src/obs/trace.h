@@ -40,6 +40,14 @@ enum class TraceKind : std::uint8_t {
   fault_drop,       // injector verdict: packet dropped (detail: label)
   fault_duplicate,  // injector verdict: packet duplicated (detail: label)
   fault_delay,      // injector verdict: packet delayed (value: steps)
+
+  // HA replication / failover plane (src/ha/, PROTOCOL.md §11).
+  repl_delta,     // delta shipped or applied (detail: kind, value: seq)
+  repl_snapshot,  // baseline shipped or installed (value: seq covered)
+  repl_gap,       // standby detected a log gap (value: applied floor)
+  promote,        // standby promoted to active leader (value: fenced epoch)
+  fence,          // lower-epoch traffic rejected / old leader deposed
+                  //   (detail: why, value: offending epoch)
 };
 
 /// Stable lowercase name for JSONL export and chart rendering.

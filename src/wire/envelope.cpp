@@ -25,6 +25,10 @@ const char* label_name(Label label) {
     case Label::LegacyReqClose: return "LegacyReqClose";
     case Label::LegacyCloseConnection: return "LegacyCloseConnection";
     case Label::GroupData: return "GroupData";
+    case Label::ReplDelta: return "ReplDelta";
+    case Label::ReplSnapshot: return "ReplSnapshot";
+    case Label::ReplAck: return "ReplAck";
+    case Label::ReplHeartbeat: return "ReplHeartbeat";
   }
   return "?";
 }
@@ -50,6 +54,10 @@ bool is_known_label(std::uint8_t raw) {
     case Label::LegacyReqClose:
     case Label::LegacyCloseConnection:
     case Label::GroupData:
+    case Label::ReplDelta:
+    case Label::ReplSnapshot:
+    case Label::ReplAck:
+    case Label::ReplHeartbeat:
       return true;
   }
   return false;

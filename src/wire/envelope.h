@@ -40,6 +40,14 @@ enum class Label : std::uint8_t {
 
   // Group data plane (shared shape; keyed under Kg).
   GroupData = 64,
+
+  // HA replication plane (active leader <-> warm standby; sealed under the
+  // pairwise replication key — see src/ha/ and PROTOCOL.md §11). Not part
+  // of the paper's message space: members never see these labels.
+  ReplDelta = 96,      // one admin-state delta, keyed by (epoch, seq)
+  ReplSnapshot = 97,   // sealed LeaderSnapshot baseline covering seq
+  ReplAck = 98,        // standby -> active: applied floor / gap / fence
+  ReplHeartbeat = 99,  // active -> standby: liveness + current log head
 };
 
 /// Stable label name for logs and attack narration.

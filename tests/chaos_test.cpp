@@ -52,6 +52,7 @@ wire::Envelope plain_env(const std::string& from, const std::string& to,
 }
 
 TEST(FaultInjector, ReproducibleFromSeed) {
+  SCOPED_TRACE("seed=99");
   net::FaultPlan plan;
   plan.faults = {30, 20, 20, 4};
   auto run_schedule = [&plan] {
@@ -69,6 +70,7 @@ TEST(FaultInjector, ReproducibleFromSeed) {
 }
 
 TEST(FaultInjector, HonoursPerLinkOverrides) {
+  SCOPED_TRACE("seed=1");
   net::FaultPlan plan;
   plan.faults = {0, 0, 0, 4};                  // default: faultless
   plan.per_link[{"a", "b"}] = {100, 0, 0, 4};  // a->b: always dropped
@@ -89,6 +91,7 @@ TEST(FaultInjector, HonoursPerLinkOverrides) {
 }
 
 TEST(FaultInjector, ScheduledPartitionCutsAndHeals) {
+  SCOPED_TRACE("seed=7");
   net::FaultPlan plan;
   plan.partitions.push_back({/*from_packet=*/5, /*until_packet=*/10, {"b"}});
   net::FaultInjector inj(plan, 7);
@@ -103,6 +106,7 @@ TEST(FaultInjector, ScheduledPartitionCutsAndHeals) {
 }
 
 TEST(FaultInjector, ManualPartitionOnlyCutsCrossingTraffic) {
+  SCOPED_TRACE("seed=3");
   net::FaultPlan plan;
   net::FaultInjector inj(plan, 3);
   inj.partition({"a", "b"});
@@ -283,6 +287,7 @@ class ChaosLifecycle : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ChaosLifecycle, InvariantsHoldUnderSeededFaultSchedule) {
   const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
   ChaosWorld w(seed, plan_for_seed(seed));
 
   // Phase 1: everyone joins through the fault storm.
@@ -389,6 +394,7 @@ class ChaosMetricsInvariants
 
 TEST_P(ChaosMetricsInvariants, CountersReconcileWithFaultSchedule) {
   const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
   ChaosWorld w(seed, plan_for_seed(seed));
 
   // A crash-free lifecycle: join storm, admin + data traffic, partition and
@@ -488,6 +494,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMetricsInvariants,
 // "any failing seed reproduces deterministically" guarantee.
 TEST(Chaos, SameSeedReplaysIdentically) {
   auto run = [](std::uint64_t seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
     ChaosWorld w(seed, plan_for_seed(seed));
     for (auto& [id, m] : w.members) EXPECT_TRUE(m->join().ok());
     EXPECT_TRUE(w.settle());
@@ -512,6 +519,7 @@ TEST(Chaos, SameSeedReplaysIdentically) {
 // leaver's ReqClose is dropped repeatedly; backoff re-sends it until the
 // leader processes the close, and the budget stops the stream afterwards.
 TEST(Chaos, CloseHandshakeSurvivesLossWithBudgetedRetry) {
+  SCOPED_TRACE("seed=77");
   net::FaultPlan plan;  // faultless; we drop ReqClose by hand below
   ChaosWorld w(77, plan);
   for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
@@ -545,6 +553,7 @@ TEST(Chaos, CloseHandshakeSurvivesLossWithBudgetedRetry) {
 // Expelled-then-rejoining member gets a fresh session key and never sees
 // the old group key again (satellite: Leader::expel_stalled + rejoin).
 TEST(Chaos, ExpelledMemberRejoinsWithFreshKeysOnly) {
+  SCOPED_TRACE("seed=88");
   net::FaultPlan plan;
   ChaosWorld w(88, plan);
   for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());

@@ -16,6 +16,9 @@
 
 #include "core/leader.h"
 #include "core/member.h"
+#include "ha/failover.h"
+#include "ha/replicator.h"
+#include "ha/standby.h"
 #include "net/sim_network.h"
 #include "net/trace_chart.h"
 #include "obs/trace.h"
@@ -144,6 +147,109 @@ TEST(GoldenTrace, SecondJoinFansOutToIncumbent) {
       "@0    L          admin_ack       -> alice\n"
       "@0    L          admin_ack       -> bob\n";
   EXPECT_EQ(strip_trailing_blanks(w.chart()), golden);
+}
+
+// The canonical failover sequence (PROTOCOL.md §11): the active leader
+// crashes, the failover controller suspects the replication silence and
+// promotes the warm standby, the member suspects its dead leader, cycles to
+// the standby and re-authenticates above the epoch fence. Every observable
+// event of crash -> suspicion -> promotion -> rejoin, in order, with ticks.
+TEST(GoldenTrace, FailoverCrashSuspicionPromotionRejoin) {
+  net::SimNetwork net;
+  DeterministicRng rng(4242);
+  obs::TraceLog trace;
+  obs::ScopedTraceSink sink(trace);
+  auto send = [&net](const std::string& to, wire::Envelope e) {
+    net.send(to, std::move(e));
+  };
+
+  auto repl_key = crypto::SessionKey::random(rng);
+  Leader active(LeaderConfig{"L", RekeyPolicy::strict()}, rng);
+  active.set_send(send);
+  ha::ReplicatorConfig rc;
+  rc.repl_key = repl_key;
+  rc.snapshot_interval = 0;   // no periodic baselines: keep the chart minimal
+  rc.heartbeat_interval = 0;  // crash silence is the only liveness signal
+  ha::LeaderReplicator replicator(active, rc, rng);
+  replicator.set_send(send);
+  net.attach("L", [&](const wire::Envelope& e) {
+    if (e.label == wire::Label::ReplAck)
+      replicator.handle(e);
+    else
+      active.handle(e);
+  });
+
+  ha::StandbyConfig sc;
+  sc.repl_key = repl_key;
+  ha::StandbyLeader standby(sc, rng);
+  standby.set_send(send);
+  std::unique_ptr<Leader> promoted;
+  ha::FailoverConfig fc;
+  fc.suspect_after = 2;
+  fc.epoch_fence = 1000;
+  fc.promoted.id = "L2";
+  fc.promoted.rekey = RekeyPolicy::strict();
+  ha::FailoverController controller(standby, fc);
+  net.attach("L2", [&](const wire::Envelope& e) {
+    if (e.label == wire::Label::ReplDelta ||
+        e.label == wire::Label::ReplSnapshot ||
+        e.label == wire::Label::ReplHeartbeat)
+      standby.handle(e);
+    else if (promoted)
+      promoted->handle(e);
+  });
+  replicator.start();
+
+  auto pa = crypto::LongTermKey::random(rng);
+  ASSERT_TRUE(active.register_member("alice", pa).ok());
+  Member alice("alice", "L", pa, rng);
+  alice.set_send(send);
+  alice.set_suspect_after(3);
+  alice.enable_auto_rejoin(RetryPolicy::every_tick());
+  alice.set_failover_targets({"L", "L2"});
+  net.attach("alice", [&](const wire::Envelope& e) { alice.handle(e); });
+  ASSERT_TRUE(alice.join().ok());
+  net.run();
+  ASSERT_TRUE(alice.connected());
+  ASSERT_EQ(standby.applied_seq(), replicator.head()) << "standby behind";
+  trace.clear();  // golden-diff the failover itself, not the group forming
+
+  net.detach("L");  // the crash
+  for (int t = 0;
+       t < 20 && !(promoted && alice.connected() && alice.epoch() > 1000u);
+       ++t) {
+    alice.tick();
+    if (auto l = controller.tick()) {
+      promoted = std::move(l);
+      promoted->set_send(send);
+    }
+    net.run();
+  }
+  ASSERT_TRUE(promoted);
+  ASSERT_TRUE(alice.connected());
+  EXPECT_GT(alice.epoch(), 1000u) << "rejoined below the epoch fence";
+
+  // The promoted leader's own events sit at @0: it is a fresh incarnation
+  // whose virtual clock starts at its promotion, which is the point.
+  const std::string golden =
+      "@2    L2         suspect         [active_silent] =2\n"
+      "@2    L2         promote         -> L          [promoted] =1001\n"
+      "@3    alice      suspect         -> L\n"
+      "@3    alice      rejoin          -> L2         [retarget]\n"
+      "@3    alice      rejoin          -> L2\n"
+      "@3    alice      member_phase    -> L2         [NotConnected->WaitingForKey]\n"
+      "@0    L2         leader_phase    -> alice      [NotConnected->WaitingForKeyAck]\n"
+      "@3    alice      member_phase    -> L2         [WaitingForKey->Connected]\n"
+      "@0    L2         leader_phase    -> alice      [WaitingForKeyAck->Connected]\n"
+      "@0    L2         join            -> alice\n"
+      "@0    L2         rekey           =1002\n"
+      "@0    L2         admin_send      -> alice      [new_group_key]\n"
+      "@3    alice      rekey           -> L2         =1002\n"
+      "@0    L2         admin_ack       -> alice\n"
+      "@0    L2         admin_send      -> alice      [member_list]\n"
+      "@0    L2         admin_ack       -> alice\n";
+  EXPECT_EQ(strip_trailing_blanks(net::format_event_chart(trace.events())),
+            golden);
 }
 
 // Determinism: the same scenario under the same seed yields a byte-identical

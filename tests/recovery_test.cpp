@@ -51,6 +51,7 @@ struct World {
 // The full runbook for a crashed member: probe -> detect -> expel -> the
 // member's replacement process rejoins with the same credential.
 TEST(Recovery, CrashedMemberFullCycle) {
+  SCOPED_TRACE("seed=1");
   World w(1);
   auto pa_alice = crypto::LongTermKey::random(w.rng);
   auto pa_bob = crypto::LongTermKey::random(w.rng);
@@ -102,6 +103,7 @@ TEST(Recovery, LeaderRestartFromRegistry) {
 
   // First leader incarnation.
   {
+    SCOPED_TRACE("seed=2");
     World w(2);
     auto restored = Registry::deserialize(persisted, storage_key);
     ASSERT_TRUE(restored.ok());
@@ -115,6 +117,7 @@ TEST(Recovery, LeaderRestartFromRegistry) {
   // Second incarnation: fresh Leader, same registry blob; the member's old
   // session is meaningless (fresh keys), a plain rejoin works.
   {
+    SCOPED_TRACE("seed=3");
     World w(3);
     auto restored = Registry::deserialize(persisted, storage_key);
     ASSERT_TRUE(restored.ok());
@@ -128,6 +131,7 @@ TEST(Recovery, LeaderRestartFromRegistry) {
 }
 
 TEST(Recovery, LeaderSnapshotRoundTripAndTamperRejection) {
+  SCOPED_TRACE("seed=6");
   DeterministicRng rng(6);
   Bytes storage_key = to_bytes("snapshot-ops");
   Registry reg;
@@ -152,6 +156,7 @@ TEST(Recovery, LeaderSnapshotRoundTripAndTamperRejection) {
 
   // install() re-arms a fresh leader: credentials present, and the NEXT
   // epoch strictly exceeds everything distributed before the crash.
+  SCOPED_TRACE("seed=7");
   World w(7);
   EXPECT_EQ(back->install(w.leader), 2u);
   auto& alice = w.attach_member("alice", reg.find("alice")->pa);
@@ -165,6 +170,7 @@ TEST(Recovery, LeaderSnapshotRoundTripAndTamperRejection) {
 // expel_stalled and later rejoining gets a FRESH session key and can never
 // be talked to under the pre-expulsion group key again.
 TEST(Recovery, ExpelStalledRejoinNeverSeesOldKeys) {
+  SCOPED_TRACE("seed=8");
   World w(8);
   auto pa_a = crypto::LongTermKey::random(w.rng);
   auto pa_b = crypto::LongTermKey::random(w.rng);
@@ -222,6 +228,7 @@ TEST(Recovery, ExpelStalledRejoinNeverSeesOldKeys) {
 }
 
 TEST(Recovery, StatsSnapshotTracksLifecycle) {
+  SCOPED_TRACE("seed=4");
   World w(4);
   auto pa = crypto::LongTermKey::random(w.rng);
   auto& alice = w.add("alice", pa);

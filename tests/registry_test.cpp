@@ -7,6 +7,7 @@
 #include "core/leader.h"
 #include "core/member.h"
 #include "core/registry.h"
+#include "crypto/hmac.h"
 #include "crypto/password.h"
 #include "net/sim_network.h"
 #include "util/rng.h"
@@ -91,6 +92,56 @@ TEST(Registry, TruncationRejected) {
   Bytes data = reg.serialize(key);
   EXPECT_FALSE(Registry::deserialize({data.data(), 10}, key).ok());
   EXPECT_FALSE(Registry::deserialize({}, key).ok());
+}
+
+// Trailing bytes are rejected by two independent layers: a suffix APPENDED
+// to the blob shifts the presumed MAC window and fails authentication, and
+// junk smuggled in FRONT of the tag (re-MAC'd — only a key holder, i.e. a
+// buggy future serializer, could produce this) dies on the decoder's
+// expect_end. Both must hold for Registry and LeaderSnapshot alike.
+TEST(Registry, TrailingBytesRejected) {
+  Registry reg;
+  ASSERT_TRUE(reg.add(make_cred("alice")).ok());
+  Bytes key = to_bytes("k");
+  Bytes data = reg.serialize(key);
+
+  Bytes appended = data;
+  appended.push_back(0x00);
+  auto r1 = Registry::deserialize(appended, key);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.code(), Errc::auth_failed);
+
+  Bytes body(data.begin(), data.end() - crypto::HmacSha256::kTagSize);
+  body.push_back(0xEE);  // junk inside the authenticated region
+  auto tag = crypto::HmacSha256::mac(key, body);
+  Bytes remacd = body;
+  remacd.insert(remacd.end(), tag.begin(), tag.end());
+  auto r2 = Registry::deserialize(remacd, key);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.code(), Errc::malformed);
+}
+
+TEST(Registry, SnapshotTrailingBytesRejected) {
+  Registry reg;
+  ASSERT_TRUE(reg.add(make_cred("alice")).ok());
+  LeaderSnapshot snap{reg, 7};
+  Bytes key = to_bytes("k");
+  Bytes data = snap.serialize(key);
+
+  Bytes appended = data;
+  appended.push_back(0x00);
+  auto r1 = LeaderSnapshot::deserialize(appended, key);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.code(), Errc::auth_failed);
+
+  Bytes body(data.begin(), data.end() - crypto::HmacSha256::kTagSize);
+  body.push_back(0xEE);
+  auto tag = crypto::HmacSha256::mac(key, body);
+  Bytes remacd = body;
+  remacd.insert(remacd.end(), tag.begin(), tag.end());
+  auto r2 = LeaderSnapshot::deserialize(remacd, key);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.code(), Errc::malformed);
 }
 
 TEST(Registry, FileRoundTrip) {
