@@ -29,6 +29,8 @@
 #include "net/sim_network.h"
 #include "net/trace_chart.h"
 #include "obs/metrics.h"
+#include "obs/security.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -44,6 +46,8 @@ int main() {
   obs::ScopedTraceSink trace_sink(trace);
   obs::MetricsRegistry metrics;
   obs::ScopedMetricsSink metrics_sink(metrics);
+  obs::SecurityLedger ledger;
+  obs::ScopedSecurityLedger ledger_sink(ledger);
   auto send = [&net](const std::string& to, wire::Envelope e) {
     net.send(to, std::move(e));
   };
@@ -205,6 +209,21 @@ int main() {
               static_cast<unsigned long long>(hist.sum),
               static_cast<unsigned long long>(hist.count),
               hist.count == 1 ? "" : "s");
+  std::printf("  ha.time_to_recovery p50/p99= %.0f / %.0f ticks\n",
+              hist.quantile(0.5), hist.quantile(0.99));
+
+  // The failover itself as a causal span graph: the failover root with its
+  // suspect/promote/rejoin milestones and every post-crash handshake, plus
+  // the fencing refusals the dead leader's resurrection provoked.
+  auto spans = obs::SpanTracker::build(trace.events());
+  (void)obs::attach_evidence(spans, ledger.entries());
+  std::printf("\nfailover span graph:\n%s", obs::format_span_tree(spans).c_str());
+  std::size_t fenced = 0;
+  for (const auto& e : ledger.entries())
+    if (e.kind == obs::EvidenceKind::fenced_repl) ++fenced;
+  std::printf("\nsecurity ledger: %zu refusal(s), %zu of them fencing "
+              "refusals against the\ndeposed incarnation of \"L\".\n",
+              ledger.size(), fenced);
 
   const bool ok = replicator->deposed() && converged_on(*promoted);
   std::printf("\n%s\n",

@@ -6,9 +6,15 @@
 // counters showing which ones were (harmlessly) turned away.
 //
 // Run: ./build/examples/lossy_link
+//
+// With ENCLAVES_OBS_OUT_DIR=<dir> set, the run also dumps its full event
+// trace, the stitched exchange spans, and the security ledger as JSONL
+// files into <dir> (the CI bench-smoke job archives these as artifacts).
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "core/leader.h"
 #include "core/member.h"
@@ -16,10 +22,28 @@
 #include "net/sim_network.h"
 #include "net/trace_chart.h"
 #include "obs/metrics.h"
+#include "obs/security.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
 using namespace enclaves;
+
+namespace {
+
+void dump_artifact(const std::string& dir, const char* file,
+                   const std::string& content) {
+  const std::string path = dir + "/" + file;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("  wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  } else {
+    std::printf("  could not open %s\n", path.c_str());
+  }
+}
+
+}  // namespace
 
 int main() {
   std::printf("Enclaves over a 40%%-loss link\n");
@@ -29,8 +53,10 @@ int main() {
   // event trace for the whole run; both are dumped at the end.
   obs::MetricsRegistry metrics;
   obs::TraceLog trace;
+  obs::SecurityLedger ledger;
   obs::ScopedMetricsSink metrics_sink(metrics);
   obs::ScopedTraceSink trace_sink(trace);
+  obs::ScopedSecurityLedger ledger_sink(ledger);
 
   net::SimNetwork net;
   DeterministicRng rng(7);
@@ -130,6 +156,25 @@ int main() {
     std::printf("  %-22s %llu\n", name,
                 static_cast<unsigned long long>(metrics.counter_total(name)));
   }
+  // Join latency through the loss: the histogram the members recorded,
+  // merged fleet-wide, with the tail the averages would hide.
+  obs::HistogramData joined;
+  for (const auto& [id, m] : members) {
+    obs::HistogramData h = metrics.histogram("L", id, "join_latency_ticks");
+    if (joined.bounds.empty()) joined = h;
+    else if (h.bounds == joined.bounds) {
+      for (std::size_t i = 0; i < h.counts.size(); ++i)
+        joined.counts[i] += h.counts[i];
+      joined.overflow += h.overflow;
+      joined.count += h.count;
+      joined.sum += h.sum;
+    }
+  }
+  std::printf("\njoin latency over the lossy link: p50=%.0f p99=%.0f ticks "
+              "(%llu joins)\n",
+              joined.quantile(0.5), joined.quantile(0.99),
+              static_cast<unsigned long long>(joined.count));
+
   auto events = trace.events();
   const std::size_t tail = events.size() > 12 ? events.size() - 12 : 0;
   std::printf("\nlast %zu protocol events:\n%s", events.size() - tail,
@@ -137,5 +182,23 @@ int main() {
                                            static_cast<std::ptrdiff_t>(tail),
                                        events.end()})
                   .c_str());
+
+  // The same run as a causal span graph: each handshake/admin exchange with
+  // its retries, each fault verdict attached to the exchange it hit, and
+  // every refusal the duplicates provoked linked in as evidence.
+  auto spans = obs::SpanTracker::build(events);
+  (void)obs::attach_evidence(spans, ledger.entries());
+  std::printf("\nexchange spans:\n%s", obs::format_span_tree(spans).c_str());
+  std::printf("\nsecurity ledger: %zu refusal(s) recorded — duplicates the "
+              "liveness layer\nabsorbed are NOT here; only traffic that "
+              "failed authentication or freshness.\n",
+              ledger.size());
+
+  if (const char* dir = std::getenv("ENCLAVES_OBS_OUT_DIR")) {
+    std::printf("\ndumping observability artifacts to %s:\n", dir);
+    dump_artifact(dir, "lossy_link_trace.jsonl", trace.to_jsonl());
+    dump_artifact(dir, "lossy_link_spans.jsonl", obs::spans_to_jsonl(spans));
+    dump_artifact(dir, "lossy_link_ledger.jsonl", ledger.to_jsonl());
+  }
   return converged() ? 0 : 1;
 }

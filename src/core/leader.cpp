@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "obs/security.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/payloads.h"
@@ -55,6 +56,8 @@ void Leader::handle(const wire::Envelope& e) {
     if (!decision.allow) {
       audit_.record(AuditKind::join_denied, e.sender, decision.reason);
       obs::count(config_.id, config_.id, "join_denials_total");
+      obs::security_event(clock_.now(), obs::EvidenceKind::join_denied,
+                          config_.id, config_.id, e.sender, decision.reason);
       return;
     }
   }
@@ -68,6 +71,9 @@ void Leader::handle(const wire::Envelope& e) {
     ++relay_rejects_;
     audit_.record(AuditKind::auth_reject, e.sender, "unknown sender");
     obs::count(config_.id, config_.id, "auth_rejects_total");
+    obs::security_event(clock_.now(), obs::EvidenceKind::unknown_sender,
+                        config_.id, config_.id, e.sender,
+                        wire::label_name(e.label));
     return;
   }
   LeaderSession& session = *it->second;
@@ -82,6 +88,10 @@ void Leader::handle(const wire::Envelope& e) {
                   std::string(wire::label_name(e.label)) + ": " +
                       outcome.error().to_string());
     obs::count(config_.id, config_.id, "auth_rejects_total");
+    obs::security_event(clock_.now(),
+                        obs::evidence_kind_for(outcome.error().code),
+                        config_.id, config_.id, e.sender,
+                        wire::label_name(e.label));
     return;
   }
 
@@ -191,6 +201,8 @@ void Leader::handle_group_data(const wire::Envelope& e) {
     obs::count(config_.id, config_.id, "relay_rejects_total");
     obs::trace(clock_.now(), obs::TraceKind::data_reject, config_.id,
                config_.id, e.sender, why);
+    obs::security_event(clock_.now(), obs::EvidenceKind::relay_reject,
+                        config_.id, config_.id, e.sender, why);
   };
   if (!kg_initialized_) {
     relay_reject("no group key yet");

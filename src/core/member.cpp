@@ -1,6 +1,7 @@
 #include "core/member.h"
 
 #include "obs/metrics.h"
+#include "obs/security.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/payloads.h"
@@ -82,6 +83,9 @@ void Member::handle(const wire::Envelope& e) {
   auto outcome = session_.handle(e);
   if (!outcome) {
     obs::count(leader_id_, id_, "auth_rejects_total");
+    obs::security_event(clock_.now(),
+                        obs::evidence_kind_for(outcome.error().code),
+                        leader_id_, id_, e.sender, wire::label_name(e.label));
     return;  // rejected; tallied inside the session
   }
 
@@ -151,6 +155,10 @@ bool Member::apply_admin(const wire::AdminBody& body) {
             obs::count(leader_id_, id_, "epoch_fenced_total");
             obs::trace(clock_.now(), obs::TraceKind::fence, leader_id_, id_,
                        leader_id_, "stale_epoch", b.epoch);
+            obs::security_event(clock_.now(),
+                                obs::EvidenceKind::epoch_fenced, leader_id_,
+                                id_, leader_id_, "NewGroupKey below floor",
+                                b.epoch);
             session_.close_local();
             drop_group_state();
             if (auto_rejoin_ && want_membership_)
@@ -200,32 +208,35 @@ bool Member::apply_admin(const wire::AdminBody& body) {
 }
 
 void Member::handle_group_data(const wire::Envelope& e) {
-  auto data_reject = [this, &e](const char* why) {
+  auto data_reject = [this, &e](obs::EvidenceKind kind, const char* why) {
     ++data_rejects_;
     obs::count(leader_id_, id_, "data_rejects_total");
     obs::trace(clock_.now(), obs::TraceKind::data_reject, leader_id_, id_,
                e.sender, why);
+    obs::security_event(clock_.now(), kind, leader_id_, id_, e.sender, why);
   };
   if (!connected() || !have_kg_) {
-    data_reject("no session or group key");
+    data_reject(obs::EvidenceKind::bad_label, "no session or group key");
     return;
   }
   auto plain = wire::open_sealed(aead_, kg_.view(), e);
   if (!plain) {
     // Sealed under some other epoch's key, or forged by a non-member.
-    data_reject("does not open under current Kg");
+    data_reject(obs::EvidenceKind::aead_open_failure,
+                "does not open under current Kg");
     return;
   }
   auto payload = wire::decode_group_data(*plain);
   if (!payload || payload->epoch != epoch_ || payload->origin != e.sender) {
-    data_reject("stale epoch or origin mismatch");
+    data_reject(obs::EvidenceKind::stale_epoch,
+                "stale epoch or origin mismatch");
     return;
   }
   // Per-origin strictly increasing sequence: rejects within-epoch replays.
   auto [it, inserted] = last_seq_.try_emplace(payload->origin, payload->seq);
   if (!inserted) {
     if (payload->seq <= it->second) {
-      data_reject("replayed sequence");
+      data_reject(obs::EvidenceKind::replayed_seq, "replayed sequence");
       return;
     }
     it->second = payload->seq;

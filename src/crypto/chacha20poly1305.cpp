@@ -7,6 +7,7 @@
 #include "crypto/ct.h"
 #include "crypto/poly1305.h"
 #include "obs/metrics.h"
+#include "obs/security.h"
 
 namespace enclaves::crypto {
 
@@ -64,6 +65,8 @@ class ChaCha20Poly1305 final : public Aead {
     auto expect = compute_tag(key, nonce, aad, body);
     if (!ct_equal({expect.data(), expect.size()}, tag)) {
       obs::count("crypto", name(), "open_failures_total");
+      obs::security_event(0, obs::EvidenceKind::aead_open_failure,
+                          "crypto", name(), {}, "poly1305 tag mismatch");
       return make_error(Errc::auth_failed, "poly1305 tag mismatch");
     }
     ChaCha20 cipher(key, nonce, 1);

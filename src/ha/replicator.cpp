@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/security.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/seal.h"
@@ -151,6 +152,11 @@ void LeaderReplicator::handle(const wire::Envelope& e) {
       obs::count(kHaGroup, leader_.id(), "deposed_total");
       obs::trace(clock_.now(), obs::TraceKind::fence, kHaGroup, leader_.id(),
                  config_.standby_id, "deposed", ack->epoch);
+      // Evidence against ourselves: this incarnation kept distributing
+      // after a failover — exactly what a resurrected leader looks like.
+      obs::security_event(clock_.now(), obs::EvidenceKind::fenced_repl,
+                          kHaGroup, leader_.id(), leader_.id(),
+                          "deposed by fenced ack", ack->epoch);
       retry_.disarm();
       if (on_deposed) on_deposed(ack->epoch);
     }

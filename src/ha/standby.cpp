@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/security.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/seal.h"
@@ -38,6 +39,9 @@ void StandbyLeader::handle(const wire::Envelope& e) {
     // void; answer with the fence so it learns it is deposed.
     obs::trace(now_, obs::TraceKind::fence, kHaGroup, config_.id,
                e.sender, "fenced_repl_traffic", fenced_epoch_);
+    obs::security_event(now_, obs::EvidenceKind::fenced_repl, kHaGroup,
+                        config_.id, e.sender, "repl traffic after promotion",
+                        fenced_epoch_);
     send_fenced_ack();
     return;
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/json_escape.h"
+
 namespace enclaves::obs {
 
 namespace detail {
@@ -47,6 +49,28 @@ void observe_into(HistogramData& h, std::uint64_t value,
 }
 
 }  // namespace
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double hi = static_cast<double>(bounds[i]);
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= rank) {
+      const double fraction =
+          std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // The q-th observation is in the overflow bucket; the last edge is the
+  // best (under-)estimate available.
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
 
 void MetricsRegistry::add(std::string_view group, std::string_view agent,
                           std::string_view name, std::uint64_t delta) {
@@ -124,29 +148,6 @@ void MetricsRegistry::reset() {
 // JSON export.
 
 namespace {
-
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
 
 void append_key_fields(std::string& out, const MetricKey& key) {
   out += "\"group\":";

@@ -49,6 +49,14 @@ struct HistogramData {
   std::uint64_t count = 0;  // total observations
   std::uint64_t sum = 0;    // sum of observed values
 
+  /// Quantile estimate by linear interpolation inside the bucket that
+  /// contains the q-th observation (q clamped to [0, 1]). The estimate for
+  /// bucket i interpolates over (bounds[i-1], bounds[i]] — the layout's
+  /// resolution bounds the error. Observations in `overflow` clamp to the
+  /// last edge (the histogram does not retain their magnitude). Returns 0
+  /// for an empty histogram.
+  double quantile(double q) const;
+
   friend bool operator==(const HistogramData&, const HistogramData&) =
       default;
 };

@@ -1,0 +1,126 @@
+#include "obs/security.h"
+
+#include "obs/json_escape.h"
+
+namespace enclaves::obs {
+
+namespace detail {
+std::atomic<SecurityLedger*> g_security_sink{nullptr};
+}
+
+void set_security_sink(SecurityLedger* ledger) {
+  detail::g_security_sink.store(ledger, std::memory_order_release);
+}
+
+std::string_view evidence_kind_name(EvidenceKind kind) {
+  switch (kind) {
+    case EvidenceKind::aead_open_failure: return "aead_open_failure";
+    case EvidenceKind::stale_nonce: return "stale_nonce";
+    case EvidenceKind::replayed_seq: return "replayed_seq";
+    case EvidenceKind::stale_epoch: return "stale_epoch";
+    case EvidenceKind::epoch_fenced: return "epoch_fenced";
+    case EvidenceKind::relay_reject: return "relay_reject";
+    case EvidenceKind::fenced_repl: return "fenced_repl";
+    case EvidenceKind::identity_mismatch: return "identity_mismatch";
+    case EvidenceKind::unknown_sender: return "unknown_sender";
+    case EvidenceKind::join_denied: return "join_denied";
+    case EvidenceKind::bad_label: return "bad_label";
+    case EvidenceKind::malformed: return "malformed";
+  }
+  return "unknown";
+}
+
+std::string_view evidence_metric_name(EvidenceKind kind) {
+  switch (kind) {
+    case EvidenceKind::aead_open_failure:
+      return "refusals_aead_open_failure_total";
+    case EvidenceKind::stale_nonce: return "refusals_stale_nonce_total";
+    case EvidenceKind::replayed_seq: return "refusals_replayed_seq_total";
+    case EvidenceKind::stale_epoch: return "refusals_stale_epoch_total";
+    case EvidenceKind::epoch_fenced: return "refusals_epoch_fenced_total";
+    case EvidenceKind::relay_reject: return "refusals_relay_reject_total";
+    case EvidenceKind::fenced_repl: return "refusals_fenced_repl_total";
+    case EvidenceKind::identity_mismatch:
+      return "refusals_identity_mismatch_total";
+    case EvidenceKind::unknown_sender: return "refusals_unknown_sender_total";
+    case EvidenceKind::join_denied: return "refusals_join_denied_total";
+    case EvidenceKind::bad_label: return "refusals_bad_label_total";
+    case EvidenceKind::malformed: return "refusals_malformed_total";
+  }
+  return "refusals_unknown_total";
+}
+
+EvidenceKind evidence_kind_for(Errc code) {
+  switch (code) {
+    case Errc::auth_failed: return EvidenceKind::aead_open_failure;
+    case Errc::stale: return EvidenceKind::stale_nonce;
+    case Errc::identity_mismatch: return EvidenceKind::identity_mismatch;
+    case Errc::unknown_peer: return EvidenceKind::unknown_sender;
+    case Errc::denied: return EvidenceKind::join_denied;
+    case Errc::malformed:
+    case Errc::truncated:
+    case Errc::oversized: return EvidenceKind::malformed;
+    default: return EvidenceKind::bad_label;  // unexpected / out-of-state
+  }
+}
+
+void SecurityLedger::record(SecurityEvidence evidence) {
+  std::lock_guard lock(mutex_);
+  if (!evidence.accused.empty()) ++suspicion_[evidence.accused];
+  entries_.push_back(std::move(evidence));
+}
+
+std::vector<SecurityEvidence> SecurityLedger::entries() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+std::size_t SecurityLedger::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void SecurityLedger::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  suspicion_.clear();
+}
+
+std::uint64_t SecurityLedger::suspicion(std::string_view accused) const {
+  std::lock_guard lock(mutex_);
+  auto it = suspicion_.find(accused);
+  return it == suspicion_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> SecurityLedger::suspicion_counts()
+    const {
+  std::lock_guard lock(mutex_);
+  return {suspicion_.begin(), suspicion_.end()};
+}
+
+std::string SecurityLedger::to_jsonl() const {
+  std::vector<SecurityEvidence> copy = entries();
+  std::string out;
+  for (const SecurityEvidence& e : copy) {
+    out += "{\"tick\":" + std::to_string(e.tick);
+    out += ",\"kind\":";
+    append_json_string(out, evidence_kind_name(e.kind));
+    out += ",\"group\":";
+    append_json_string(out, e.group);
+    out += ",\"observer\":";
+    append_json_string(out, e.observer);
+    if (!e.accused.empty()) {
+      out += ",\"accused\":";
+      append_json_string(out, e.accused);
+    }
+    if (!e.detail.empty()) {
+      out += ",\"detail\":";
+      append_json_string(out, e.detail);
+    }
+    if (e.value != 0) out += ",\"value\":" + std::to_string(e.value);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace enclaves::obs

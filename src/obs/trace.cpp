@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/json_escape.h"
+
 namespace enclaves::obs {
 
 namespace detail {
@@ -37,33 +39,6 @@ std::string_view trace_kind_name(TraceKind kind) {
   }
   return "unknown";
 }
-
-namespace {
-
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-}  // namespace
 
 std::string TraceLog::to_jsonl() const {
   std::vector<TraceEvent> copy = events();

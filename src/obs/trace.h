@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -69,13 +70,41 @@ class TraceLog {
  public:
   void record(TraceEvent event) {
     std::lock_guard lock(mutex_);
+    if (capacity_ != 0 && events_.size() == capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
     events_.push_back(std::move(event));
+  }
+
+  /// Bounds the log to the most recent `capacity` events (ring buffer);
+  /// 0 restores the default unbounded behaviour. Shrinking below the
+  /// current size evicts the oldest events immediately (they count as
+  /// dropped). Long 50-seed sweeps set this so memory stays flat.
+  void set_capacity(std::size_t capacity) {
+    std::lock_guard lock(mutex_);
+    capacity_ = capacity;
+    while (capacity_ != 0 && events_.size() > capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
+
+  std::size_t capacity() const {
+    std::lock_guard lock(mutex_);
+    return capacity_;
+  }
+
+  /// Events evicted by the ring buffer since construction / clear().
+  std::uint64_t dropped_events() const {
+    std::lock_guard lock(mutex_);
+    return dropped_;
   }
 
   /// Copy of the recorded sequence, in record order.
   std::vector<TraceEvent> events() const {
     std::lock_guard lock(mutex_);
-    return events_;
+    return std::vector<TraceEvent>(events_.begin(), events_.end());
   }
 
   std::size_t size() const {
@@ -86,6 +115,7 @@ class TraceLog {
   void clear() {
     std::lock_guard lock(mutex_);
     events_.clear();
+    dropped_ = 0;
   }
 
   /// One JSON object per line, fields in declaration order; empty
@@ -94,7 +124,9 @@ class TraceLog {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_ = 0;
 };
 
 // ---------------------------------------------------------------------------

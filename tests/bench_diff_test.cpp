@@ -1,0 +1,158 @@
+// bench_diff parsing and diff semantics: the header-only library behind
+// tools/bench_diff, exercised on hand-built BENCH_<tag>.json blobs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tools/bench_diff_lib.h"
+
+namespace enclaves::tools {
+namespace {
+
+// A minimal valid blob: one benchmark row, one protocol counter.
+std::string blob_json(const std::string& tag, double real_time,
+                      std::uint64_t counter_value,
+                      const std::string& extra_counters = "") {
+  return "{\"bench\":\"" + tag +
+         "\",\"metrics_attached\":true,"
+         "\"results\":[{\"name\":\"BM_Join\",\"iterations\":100,"
+         "\"real_time\":" +
+         std::to_string(real_time) +
+         ",\"cpu_time\":" + std::to_string(real_time) +
+         ",\"time_unit\":\"ns\"}],"
+         "\"metrics\":{\"counters\":[{\"group\":\"L\",\"agent\":\"L\","
+         "\"name\":\"relayed_total\",\"value\":" +
+         std::to_string(counter_value) + "}" + extra_counters +
+         "],\"gauges\":[],\"histograms\":[]}}";
+}
+
+TEST(BenchBlobParse, RoundTripsAllSections) {
+  auto blob = BenchBlob::parse(blob_json("protocol_perf", 120.5, 7));
+  ASSERT_TRUE(blob.ok()) << blob.error().to_string();
+  EXPECT_EQ(blob->bench, "protocol_perf");
+  EXPECT_TRUE(blob->metrics_attached);
+  ASSERT_EQ(blob->results.size(), 1u);
+  EXPECT_EQ(blob->results[0].name, "BM_Join");
+  EXPECT_EQ(blob->results[0].iterations, 100u);
+  EXPECT_DOUBLE_EQ(blob->results[0].real_time, 120.5);
+  EXPECT_EQ(blob->results[0].time_unit, "ns");
+  EXPECT_EQ(blob->metrics.counters.size(), 1u);
+}
+
+TEST(BenchBlobParse, RejectsMalformedInput) {
+  EXPECT_FALSE(BenchBlob::parse("").ok());
+  EXPECT_FALSE(BenchBlob::parse("not json").ok());
+  EXPECT_FALSE(BenchBlob::parse("{\"bench\":\"x\"}").ok())
+      << "missing results/metrics sections";
+  EXPECT_FALSE(BenchBlob::parse(blob_json("t", 1, 1) + "garbage").ok())
+      << "trailing garbage";
+  EXPECT_FALSE(
+      BenchBlob::parse("{\"bench\":\"t\",\"surprise\":1,"
+                       "\"results\":[],\"metrics\":{\"counters\":[],"
+                       "\"gauges\":[],\"histograms\":[]}}")
+          .ok())
+      << "unknown field";
+}
+
+TEST(BenchDiff, CleanRunReportsNoRegressions) {
+  auto base = BenchBlob::parse(blob_json("t", 100, 5));
+  auto cand = BenchBlob::parse(blob_json("t", 105, 9));
+  ASSERT_TRUE(base.ok() && cand.ok());
+  auto report = diff_blobs(*base, *cand);
+  EXPECT_FALSE(report.failed());
+  EXPECT_TRUE(report.warnings.empty());
+  EXPECT_EQ(report.to_string(), "ok    no regressions\n");
+}
+
+TEST(BenchDiff, TimeRegressionWarnsByDefaultFailsOnRequest) {
+  auto base = BenchBlob::parse(blob_json("t", 100, 5));
+  auto cand = BenchBlob::parse(blob_json("t", 150, 5));  // +50% > 30%
+  ASSERT_TRUE(base.ok() && cand.ok());
+
+  auto report = diff_blobs(*base, *cand);
+  EXPECT_FALSE(report.failed());
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].find("BM_Join"), std::string::npos);
+
+  DiffOptions strict;
+  strict.fail_on_time = true;
+  EXPECT_TRUE(diff_blobs(*base, *cand, strict).failed());
+
+  DiffOptions loose;
+  loose.time_tolerance = 0.60;  // +50% now inside tolerance
+  auto ok = diff_blobs(*base, *cand, loose);
+  EXPECT_FALSE(ok.failed());
+  EXPECT_TRUE(ok.warnings.empty());
+}
+
+TEST(BenchDiff, ImprovementIsANoteNotAFailure) {
+  auto base = BenchBlob::parse(blob_json("t", 100, 5));
+  auto cand = BenchBlob::parse(blob_json("t", 50, 5));
+  ASSERT_TRUE(base.ok() && cand.ok());
+  auto report = diff_blobs(*base, *cand);
+  EXPECT_FALSE(report.failed());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("improved"), std::string::npos);
+}
+
+TEST(BenchDiff, DisappearedBenchmarkFails) {
+  auto base = BenchBlob::parse(blob_json("t", 100, 5));
+  auto cand = BenchBlob::parse(
+      "{\"bench\":\"t\",\"metrics_attached\":true,\"results\":[],"
+      "\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}");
+  ASSERT_TRUE(base.ok() && cand.ok());
+  auto report = diff_blobs(*base, *cand);
+  EXPECT_TRUE(report.failed());
+}
+
+TEST(BenchDiff, TagMismatchAndDetachedMetricsFail) {
+  auto base = BenchBlob::parse(blob_json("alpha", 100, 5));
+  auto cand = BenchBlob::parse(blob_json("beta", 100, 5));
+  ASSERT_TRUE(base.ok() && cand.ok());
+  EXPECT_TRUE(diff_blobs(*base, *cand).failed());
+
+  auto detached = BenchBlob::parse(
+      "{\"bench\":\"alpha\",\"metrics_attached\":false,"
+      "\"results\":[{\"name\":\"BM_Join\",\"iterations\":100,"
+      "\"real_time\":100,\"cpu_time\":100,\"time_unit\":\"ns\"}],"
+      "\"metrics\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}");
+  ASSERT_TRUE(detached.ok());
+  EXPECT_TRUE(diff_blobs(*base, *detached).failed())
+      << "candidate ran with ENCLAVES_BENCH_NO_METRICS";
+}
+
+TEST(BenchDiff, PresenceModeCatchesCountersGoingDark) {
+  auto base = BenchBlob::parse(blob_json("t", 100, 5));
+  auto dark = BenchBlob::parse(blob_json("t", 100, 0));
+  auto drifted = BenchBlob::parse(blob_json("t", 100, 999));
+  ASSERT_TRUE(base.ok() && dark.ok() && drifted.ok());
+
+  auto report = diff_blobs(*base, *dark);
+  ASSERT_TRUE(report.failed());
+  EXPECT_NE(report.failures[0].find("went dark"), std::string::npos);
+
+  // Magnitude drift is fine in presence mode (iteration counts vary)...
+  EXPECT_FALSE(diff_blobs(*base, *drifted).failed());
+
+  // ...but not in exact mode.
+  DiffOptions exact;
+  exact.counters = CounterMode::exact;
+  EXPECT_TRUE(diff_blobs(*base, *drifted, exact).failed());
+  EXPECT_FALSE(diff_blobs(*base, *base, exact).failed());
+}
+
+TEST(BenchDiff, NewCounterAndNewBenchmarkAreNotes) {
+  auto base = BenchBlob::parse(blob_json("t", 100, 5));
+  auto cand = BenchBlob::parse(blob_json(
+      "t", 100, 5,
+      ",{\"group\":\"security\",\"agent\":\"L\","
+      "\"name\":\"refusals_total\",\"value\":3}"));
+  ASSERT_TRUE(base.ok() && cand.ok());
+  auto report = diff_blobs(*base, *cand);
+  EXPECT_FALSE(report.failed());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("new counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enclaves::tools

@@ -35,6 +35,8 @@
 #include "net/fault.h"
 #include "net/sim_network.h"
 #include "obs/metrics.h"
+#include "obs/security.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "wire/payloads.h"
@@ -250,8 +252,10 @@ struct ChaosWorld {
   // so the RAII sinks attach before any traffic and detach last.
   obs::MetricsRegistry metrics;
   obs::TraceLog trace;
+  obs::SecurityLedger ledger;
   obs::ScopedMetricsSink metrics_sink{metrics};
   obs::ScopedTraceSink trace_sink{trace};
+  obs::ScopedSecurityLedger ledger_sink{ledger};
 
   net::SimNetwork net;
   DeterministicRng rng;
@@ -289,6 +293,11 @@ TEST_P(ChaosLifecycle, InvariantsHoldUnderSeededFaultSchedule) {
   const std::uint64_t seed = GetParam();
   SCOPED_TRACE("seed=" + std::to_string(seed));
   ChaosWorld w(seed, plan_for_seed(seed));
+
+  // Lifecycle runs only assert end-state invariants, never the raw trace,
+  // so they double as coverage for the bounded ring-buffer mode: eviction
+  // of old events must not disturb any protocol behaviour.
+  w.trace.set_capacity(4096);
 
   // Phase 1: everyone joins through the fault storm.
   for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
@@ -371,6 +380,12 @@ TEST_P(ChaosLifecycle, InvariantsHoldUnderSeededFaultSchedule) {
     for (const auto& [origin2, seqs] : tr.data_seqs)
       assert_strictly_increasing(seqs, id + " data from " + origin2);
     EXPECT_GT(tr.hb, 0u) << id << " never saw a heartbeat";
+  }
+
+  // Ring-buffer accounting: the cap held, and every eviction was counted.
+  EXPECT_LE(w.trace.size(), 4096u);
+  if (w.trace.dropped_events() > 0) {
+    EXPECT_EQ(w.trace.size(), 4096u);
   }
 }
 
@@ -488,6 +503,175 @@ TEST_P(ChaosMetricsInvariants, CountersReconcileWithFaultSchedule) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosMetricsInvariants,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// ---------------------------------------------------------------------------
+// Causality invariants: the span graph stitched from the trace and the
+// security ledger must reconcile with the raw event stream and the fault
+// schedule, for every seed. Every exchange the protocol ran appears as
+// exactly one span; every fault verdict a span claims really happened;
+// every refusal in the run is attributed in the ledger.
+class ChaosCausality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosCausality, SpanGraphAndLedgerReconcileWithTrace) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  ChaosWorld w(seed, plan_for_seed(seed));
+
+  // Crash-free lifecycle (a crash clears no trace but forgets in-flight
+  // exchanges; the exact pairing invariants below want every exchange to
+  // have both ends in the stream).
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  ASSERT_TRUE(w.settle()) << "join phase did not converge, seed=" << seed;
+  w.broadcast_numbered(4);
+  for (int i = 0; i < 8; ++i) {
+    auto& m = *w.members[ChaosWorld::member_id(i % ChaosWorld::kMembers)];
+    if (m.connected() && m.has_group_key())
+      (void)m.send_data(to_bytes("d#" + std::to_string(i)));
+    w.step();
+  }
+  w.injector.partition({ChaosWorld::member_id(2)});
+  for (int t = 0; t < 60; ++t) w.step();
+  w.injector.heal();
+  ASSERT_TRUE(w.settle(4000)) << "post-heal convergence failed, seed="
+                              << seed;
+
+  const auto events = w.trace.events();
+  auto spans = obs::SpanTracker::build(events);
+
+  // Event census from the raw stream.
+  std::uint64_t join_starts = 0, join_completions = 0;
+  std::uint64_t admin_sends = 0, admin_acks = 0;
+  std::uint64_t rekey_mints = 0, rekey_applies = 0;
+  std::uint64_t retry_events = 0;
+  std::multiset<std::tuple<Tick, std::string, std::string>> fault_events;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case obs::TraceKind::member_phase:
+        if (e.detail == "NotConnected->WaitingForKey") ++join_starts;
+        if (e.detail == "WaitingForKey->Connected") ++join_completions;
+        break;
+      case obs::TraceKind::admin_send: ++admin_sends; break;
+      case obs::TraceKind::admin_ack: ++admin_acks; break;
+      case obs::TraceKind::rekey:
+        (e.agent == e.group ? rekey_mints : rekey_applies)++;
+        break;
+      case obs::TraceKind::retransmit:
+      case obs::TraceKind::reanswer: ++retry_events; break;
+      case obs::TraceKind::fault_drop:
+      case obs::TraceKind::fault_duplicate:
+      case obs::TraceKind::fault_delay:
+        fault_events.emplace(e.tick,
+                             std::string(obs::trace_kind_name(e.kind)),
+                             e.detail);
+        break;
+      default: break;
+    }
+  }
+
+  // 1. Exchange pairing: one join span per handshake start, one completion
+  //    per Connected transition; one admin span per send, one completion
+  //    per accepted ack; one rekey root per mint, one delivery child per
+  //    member application, each linked to its root.
+  std::uint64_t join_spans = 0, join_complete = 0;
+  std::uint64_t admin_spans = 0, admin_complete = 0;
+  std::uint64_t rekey_roots = 0, deliveries = 0;
+  std::uint64_t span_retries = 0;
+  for (const auto& s : spans) {
+    span_retries += s.retries;
+    switch (s.kind) {
+      case obs::SpanKind::join:
+        ++join_spans;
+        join_complete += s.complete ? 1 : 0;
+        break;
+      case obs::SpanKind::admin_exchange:
+        ++admin_spans;
+        admin_complete += s.complete ? 1 : 0;
+        break;
+      case obs::SpanKind::rekey: ++rekey_roots; break;
+      case obs::SpanKind::rekey_delivery:
+        ++deliveries;
+        EXPECT_NE(s.parent, 0u)
+            << "delivery of epoch " << s.value << " has no rekey root";
+        break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(join_spans, join_starts);
+  EXPECT_EQ(join_complete, join_completions);
+  EXPECT_EQ(admin_spans, admin_sends);
+  EXPECT_EQ(admin_complete, admin_acks);
+  EXPECT_EQ(rekey_roots, rekey_mints);
+  EXPECT_EQ(deliveries, rekey_applies);
+
+  // 2. Retry accounting: a span retry is a retransmit/reanswer event that
+  //    hit an open exchange — never more than the stream recorded, and
+  //    impossible in a fault-free schedule.
+  EXPECT_LE(span_retries, retry_events);
+  const auto& stats = w.injector.stats();
+  if (stats.dropped + stats.duplicated + stats.delayed +
+          stats.partition_dropped ==
+      0) {
+    EXPECT_EQ(span_retries, 0u);
+  }
+
+  // 3. Every fault verdict a span carries really happened: the annotation
+  //    multiset embeds into the injector's trace output.
+  for (const auto& s : spans) {
+    for (const auto& a : s.annotations) {
+      if (a.kind != "fault_drop" && a.kind != "fault_duplicate" &&
+          a.kind != "fault_delay")
+        continue;
+      auto it = fault_events.find(std::tuple(a.tick, a.kind, a.detail));
+      ASSERT_NE(it, fault_events.end())
+          << "span #" << s.id << " claims a " << a.kind << " of " << a.detail
+          << " at @" << a.tick << " the injector never issued";
+      fault_events.erase(it);  // each verdict annotates at most one span
+    }
+  }
+
+  // 4. Ledger/metrics agreement: every refusal in the run is one attributed
+  //    ledger entry, crypto-plane tag failures included.
+  EXPECT_EQ(w.ledger.size(), w.metrics.counter_total("refusals_total"));
+  std::uint64_t crypto_entries = 0;
+  const std::set<std::string> agents = {"L", "m0", "m1", "m2", "m3"};
+  for (const auto& e : w.ledger.entries()) {
+    if (e.group == "crypto") {
+      ++crypto_entries;
+      continue;
+    }
+    EXPECT_TRUE(agents.count(e.observer))
+        << "refusal observed by a stranger: " << e.observer;
+    EXPECT_TRUE(e.accused.empty() || agents.count(e.accused))
+        << "network faults can only replay group traffic, yet " << e.accused
+        << " was accused";
+    EXPECT_NE(e.kind, obs::EvidenceKind::fenced_repl)
+        << "no HA plane in this world";
+  }
+  EXPECT_EQ(crypto_entries,
+            w.metrics.counter_total("open_failures_total"));
+  std::uint64_t attributed = 0;
+  for (const auto& e : w.ledger.entries())
+    if (!e.accused.empty()) ++attributed;
+  std::uint64_t suspicion_total = 0;
+  for (const auto& [accused, n] : w.ledger.suspicion_counts())
+    suspicion_total += n;
+  EXPECT_EQ(suspicion_total, attributed);
+
+  // 5. Evidence attaches into the span graph (an entry may miss only when
+  //    its exchange closed before the refusal tick), and both artifacts
+  //    export cleanly.
+  const std::size_t attached = obs::attach_evidence(spans, w.ledger.entries());
+  EXPECT_LE(attached, w.ledger.size());
+  const std::string jsonl = obs::spans_to_jsonl(spans);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, spans.size());
+  EXPECT_EQ(spans.size(), obs::SpanTracker::build(events).size())
+      << "attach_evidence must not add or drop spans";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosCausality,
                          ::testing::Range<std::uint64_t>(1, 51));
 
 // Same seed, two runs: bit-identical observable histories. This is the

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/security.h"
 #include "obs/trace.h"
 #include "util/clock.h"
 
@@ -203,6 +204,162 @@ TEST(TraceLog, JsonlExport) {
             "\"agent\":\"L\",\"peer\":\"alice\",\"detail\":\"notice\"}\n"
             "{\"tick\":8,\"kind\":\"rekey\",\"group\":\"G\",\"agent\":\"L\","
             "\"value\":3}\n");
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  MetricsRegistry r;
+  const std::vector<std::uint64_t> bounds = {10, 20, 40};
+  // 10 samples in (0,10], 10 in (10,20]: p50 sits at the first bucket edge,
+  // p75 halfway into the second.
+  for (int i = 0; i < 10; ++i) r.observe("g", "a", "lat", 5, bounds);
+  for (int i = 0; i < 10; ++i) r.observe("g", "a", "lat", 15, bounds);
+  HistogramData h = r.histogram("g", "a", "lat");
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, OverflowClampsToLastEdgeAndEmptyIsZero) {
+  MetricsRegistry r;
+  const std::vector<std::uint64_t> bounds = {10, 100};
+  r.observe("g", "a", "lat", 5000, bounds);  // overflow bucket only
+  EXPECT_DOUBLE_EQ(r.histogram("g", "a", "lat").quantile(0.99), 100.0);
+  HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(TraceLog, RingBufferCapacityCountsDrops) {
+  TraceLog log;
+  log.set_capacity(3);
+  for (std::uint64_t t = 0; t < 5; ++t)
+    log.record(TraceEvent{t, TraceKind::join, "G", "L", "a", "", 0});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped_events(), 2u);
+  auto events = log.events();
+  EXPECT_EQ(events.front().tick, 2u);  // oldest two evicted
+  EXPECT_EQ(events.back().tick, 4u);
+
+  // Shrinking trims immediately, counting the evictions.
+  log.set_capacity(1);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.dropped_events(), 4u);
+  EXPECT_EQ(log.events().front().tick, 4u);
+
+  // Capacity 0 restores unbounded growth; clear() resets the counter.
+  log.set_capacity(0);
+  for (std::uint64_t t = 0; t < 10; ++t)
+    log.record(TraceEvent{t, TraceKind::join, "G", "L", "a", "", 0});
+  EXPECT_EQ(log.size(), 11u);
+  log.clear();
+  EXPECT_EQ(log.dropped_events(), 0u);
+}
+
+TEST(TraceLog, JsonlEscapesHostileStrings) {
+  // Control characters, quotes, and backslashes in any string field must
+  // stay inside their JSON string when exported.
+  const std::string hostile = "evil\"\\\n\t\r\x01\x1f";
+  TraceLog log;
+  log.record(TraceEvent{1, TraceKind::admin_send, hostile, hostile, hostile,
+                        hostile, 0});
+  const std::string jsonl = log.to_jsonl();
+  EXPECT_EQ(jsonl.find('\x01'), std::string::npos);
+  EXPECT_EQ(jsonl.find('\t'), std::string::npos);
+  EXPECT_NE(jsonl.find("evil\\\"\\\\\\n\\t\\r\\u0001\\u001f"),
+            std::string::npos);
+  // Exactly one record line: no raw newline leaked out of a string.
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1);
+}
+
+TEST(MetricsSnapshot, HostileStringsSurviveJsonRoundTrip) {
+  // The regression this guards: a detail/agent string carrying raw control
+  // bytes used to produce JSON that from_json could not read back.
+  MetricsRegistry r;
+  const std::string hostile = "m\x01id\x1f\"quoted\"\\slash\n\t\r";
+  r.add("g\x02roup", hostile, "ops_total", 3);
+  r.set_gauge("g\x02roup", hostile, "depth", -1);
+  r.observe("g\x02roup", hostile, "lat", 7);
+  MetricsSnapshot before = r.snapshot();
+  auto after = MetricsSnapshot::from_json(before.to_json());
+  ASSERT_TRUE(after.ok()) << after.error().to_string();
+  EXPECT_EQ(*after, before);
+}
+
+TEST(SecurityLedgerUnit, RecordsSuspicionAndExportsJsonl) {
+  SecurityLedger ledger;
+  EXPECT_EQ(ledger.size(), 0u);
+  ledger.record({1, EvidenceKind::stale_nonce, "G", "alice", "mallory",
+                 "old nonce", 0});
+  ledger.record({2, EvidenceKind::relay_reject, "G", "L", "mallory",
+                 "not a member", 0});
+  ledger.record({3, EvidenceKind::aead_open_failure, "crypto", "aes-gcm", "",
+                 "tag mismatch", 0});
+  EXPECT_EQ(ledger.size(), 3u);
+  EXPECT_EQ(ledger.suspicion("mallory"), 2u);
+  EXPECT_EQ(ledger.suspicion("nobody"), 0u);
+  EXPECT_EQ(ledger.suspicion_counts().size(), 1u)
+      << "unattributed evidence accrues no suspicion";
+
+  const std::string jsonl = ledger.to_jsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"stale_nonce\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"accused\":\"mallory\""), std::string::npos);
+
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.suspicion("mallory"), 0u);
+}
+
+TEST(SecurityLedgerUnit, SinkGateAndMetricsCoupling) {
+  ASSERT_EQ(security_sink(), nullptr);
+  security_event(0, EvidenceKind::malformed, "G", "L", "x");  // no crash
+  SecurityLedger ledger;
+  MetricsRegistry metrics;
+  {
+    ScopedSecurityLedger sink(ledger);
+    ScopedMetricsSink msink(metrics);
+    ASSERT_EQ(security_sink(), &ledger);
+    security_event(5, EvidenceKind::replayed_seq, "G", "bob", "alice",
+                   "seq 9", 9);
+  }
+  EXPECT_EQ(security_sink(), nullptr);
+  security_event(6, EvidenceKind::malformed, "G", "L", "x");  // dropped
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].kind, EvidenceKind::replayed_seq);
+  EXPECT_EQ(metrics.counter("security", "bob", "refusals_total"), 1u);
+  EXPECT_EQ(
+      metrics.counter("security", "bob", "refusals_replayed_seq_total"), 1u);
+  EXPECT_EQ(metrics.counter("security", "alice", "suspicion_total"), 1u);
+}
+
+TEST(SecurityLedgerUnit, EvidenceKindMappingFromErrc) {
+  EXPECT_EQ(evidence_kind_for(Errc::auth_failed),
+            EvidenceKind::aead_open_failure);
+  EXPECT_EQ(evidence_kind_for(Errc::stale), EvidenceKind::stale_nonce);
+  EXPECT_EQ(evidence_kind_for(Errc::identity_mismatch),
+            EvidenceKind::identity_mismatch);
+  EXPECT_EQ(evidence_kind_for(Errc::unknown_peer),
+            EvidenceKind::unknown_sender);
+  EXPECT_EQ(evidence_kind_for(Errc::denied), EvidenceKind::join_denied);
+  EXPECT_EQ(evidence_kind_for(Errc::malformed), EvidenceKind::malformed);
+  EXPECT_EQ(evidence_kind_for(Errc::truncated), EvidenceKind::malformed);
+}
+
+TEST(SecurityLedgerUnit, KindNamesAllDistinct) {
+  std::set<std::string_view> names;
+  for (int k = 0; k <= static_cast<int>(EvidenceKind::malformed); ++k) {
+    std::string_view name =
+        evidence_kind_name(static_cast<EvidenceKind>(k));
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+    std::string_view metric =
+        evidence_metric_name(static_cast<EvidenceKind>(k));
+    EXPECT_EQ(metric.substr(0, 9), "refusals_");
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(EvidenceKind::malformed) + 1);
 }
 
 TEST(TraceKindNames, AllDistinct) {

@@ -1,0 +1,370 @@
+// Perf-regression diffing for the BENCH_<tag>.json blobs that every
+// google-benchmark binary writes (bench/bench_json.h).
+//
+// Two comparison surfaces:
+//   - ns/op per benchmark: a relative tolerance (machines differ, CI
+//     runners doubly so) — over-tolerance regressions warn by default and
+//     fail only with fail_on_time, since a committed baseline rarely comes
+//     from the same hardware as the run under test.
+//   - protocol counters: these are *semantics*, not speed. In exact mode
+//     any value change fails; in presence mode (the CI default, because
+//     counter magnitudes scale with benchmark iteration counts) a counter
+//     that was live in the baseline but missing or zero in the candidate
+//     fails — that is how silently-lost instrumentation or a protocol path
+//     that stopped firing shows up.
+//
+// Header-only so the unit tests exercise exactly what the binary runs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace enclaves::tools {
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double real_time = 0;  // per iteration, in `time_unit`
+  double cpu_time = 0;
+  std::string time_unit;
+};
+
+/// One parsed BENCH_<tag>.json blob.
+struct BenchBlob {
+  std::string bench;
+  bool metrics_attached = false;
+  std::vector<BenchResult> results;
+  obs::MetricsSnapshot metrics;
+
+  static Result<BenchBlob> parse(std::string_view json);
+};
+
+namespace diff_detail {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r'))
+      ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < s.size() && s[pos] == c;
+  }
+
+  Result<std::string> parse_string() {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != '"') return Errc::malformed;
+    ++pos;
+    std::string out;
+    while (pos < s.size() && s[pos] != '"') {
+      char c = s[pos++];
+      if (c == '\\') {
+        if (pos >= s.size()) return Errc::truncated;
+        char esc = s[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) return Errc::truncated;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return Errc::malformed;
+            }
+            if (code > 0xFF) return Errc::malformed;  // escapes cover bytes
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return Errc::malformed;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos >= s.size()) return Errc::truncated;
+    ++pos;  // closing quote
+    return out;
+  }
+
+  Result<double> parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    while (pos < s.size() &&
+           ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+            s[pos] == 'e' || s[pos] == 'E' || s[pos] == '-' || s[pos] == '+'))
+      ++pos;
+    if (pos == start) return Errc::malformed;
+    const std::string text(s.substr(start, pos - start));
+    char* endp = nullptr;
+    const double value = std::strtod(text.c_str(), &endp);
+    if (endp != text.c_str() + text.size()) return Errc::malformed;
+    return value;
+  }
+
+  Result<bool> parse_bool() {
+    skip_ws();
+    if (s.substr(pos, 4) == "true") {
+      pos += 4;
+      return true;
+    }
+    if (s.substr(pos, 5) == "false") {
+      pos += 5;
+      return false;
+    }
+    return Errc::malformed;
+  }
+
+  /// Consumes a balanced JSON object starting at the next '{' and returns
+  /// the raw text (string-aware brace counting).
+  Result<std::string_view> parse_raw_object() {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != '{') return Errc::malformed;
+    const std::size_t start = pos;
+    int depth = 0;
+    bool in_string = false;
+    while (pos < s.size()) {
+      char c = s[pos++];
+      if (in_string) {
+        if (c == '\\') {
+          if (pos < s.size()) ++pos;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') in_string = true;
+      else if (c == '{') ++depth;
+      else if (c == '}' && --depth == 0) return s.substr(start, pos - start);
+    }
+    return Errc::truncated;
+  }
+};
+
+inline Result<BenchResult> parse_result_row(Cursor& c) {
+  if (!c.consume('{')) return Errc::malformed;
+  BenchResult row;
+  if (!c.peek('}')) {
+    do {
+      auto key = c.parse_string();
+      if (!key.ok()) return key.error();
+      if (!c.consume(':')) return Errc::malformed;
+      if (*key == "name") {
+        auto v = c.parse_string();
+        if (!v.ok()) return v.error();
+        row.name = *std::move(v);
+      } else if (*key == "iterations") {
+        auto v = c.parse_number();
+        if (!v.ok()) return v.error();
+        row.iterations = static_cast<std::uint64_t>(*v);
+      } else if (*key == "real_time") {
+        auto v = c.parse_number();
+        if (!v.ok()) return v.error();
+        row.real_time = *v;
+      } else if (*key == "cpu_time") {
+        auto v = c.parse_number();
+        if (!v.ok()) return v.error();
+        row.cpu_time = *v;
+      } else if (*key == "time_unit") {
+        auto v = c.parse_string();
+        if (!v.ok()) return v.error();
+        row.time_unit = *std::move(v);
+      } else {
+        return make_error(Errc::malformed, "unknown result field: " + *key);
+      }
+    } while (c.consume(','));
+  }
+  if (!c.consume('}')) return Errc::malformed;
+  return row;
+}
+
+}  // namespace diff_detail
+
+inline Result<BenchBlob> BenchBlob::parse(std::string_view json) {
+  diff_detail::Cursor c{json};
+  if (!c.consume('{')) return Errc::malformed;
+  BenchBlob blob;
+  bool saw_results = false, saw_metrics = false;
+  if (!c.peek('}')) {
+    do {
+      auto key = c.parse_string();
+      if (!key.ok()) return key.error();
+      if (!c.consume(':')) return Errc::malformed;
+      if (*key == "bench") {
+        auto v = c.parse_string();
+        if (!v.ok()) return v.error();
+        blob.bench = *std::move(v);
+      } else if (*key == "metrics_attached") {
+        auto v = c.parse_bool();
+        if (!v.ok()) return v.error();
+        blob.metrics_attached = *v;
+      } else if (*key == "results") {
+        if (!c.consume('[')) return Errc::malformed;
+        if (!c.peek(']')) {
+          do {
+            auto row = diff_detail::parse_result_row(c);
+            if (!row.ok()) return row.error();
+            blob.results.push_back(*std::move(row));
+          } while (c.consume(','));
+        }
+        if (!c.consume(']')) return Errc::malformed;
+        saw_results = true;
+      } else if (*key == "metrics") {
+        auto raw = c.parse_raw_object();
+        if (!raw.ok()) return raw.error();
+        auto snapshot = obs::MetricsSnapshot::from_json(*raw);
+        if (!snapshot.ok()) return snapshot.error();
+        blob.metrics = *std::move(snapshot);
+        saw_metrics = true;
+      } else {
+        return make_error(Errc::malformed, "unknown blob field: " + *key);
+      }
+    } while (c.consume(','));
+  }
+  if (!c.consume('}')) return Errc::malformed;
+  c.skip_ws();
+  if (c.pos != json.size()) return Errc::malformed;  // trailing garbage
+  if (blob.bench.empty() || !saw_results || !saw_metrics)
+    return make_error(Errc::malformed, "missing blob section");
+  return blob;
+}
+
+enum class CounterMode {
+  presence,  // baseline-live counters must stay live (CI default)
+  exact,     // values must match bit-for-bit
+};
+
+struct DiffOptions {
+  double time_tolerance = 0.30;  // candidate may be 30% slower before noise
+  CounterMode counters = CounterMode::presence;
+  bool fail_on_time = false;  // ns/op regressions warn-only by default
+};
+
+struct DiffReport {
+  std::vector<std::string> failures;
+  std::vector<std::string> warnings;
+  std::vector<std::string> notes;
+
+  bool failed() const { return !failures.empty(); }
+
+  std::string to_string() const {
+    std::string out;
+    for (const auto& f : failures) out += "FAIL  " + f + "\n";
+    for (const auto& w : warnings) out += "warn  " + w + "\n";
+    for (const auto& n : notes) out += "note  " + n + "\n";
+    if (out.empty()) out = "ok    no regressions\n";
+    return out;
+  }
+};
+
+inline std::string format_key(const obs::MetricKey& key) {
+  return key.group + "/" + key.agent + "/" + key.name;
+}
+
+inline DiffReport diff_blobs(const BenchBlob& baseline,
+                             const BenchBlob& candidate,
+                             const DiffOptions& opts = {}) {
+  DiffReport report;
+  if (baseline.bench != candidate.bench)
+    report.failures.push_back("blob tag mismatch: baseline \"" +
+                              baseline.bench + "\" vs candidate \"" +
+                              candidate.bench + "\"");
+  if (baseline.metrics_attached && !candidate.metrics_attached)
+    report.failures.push_back(
+        "baseline recorded metrics but the candidate ran with the sink "
+        "detached (ENCLAVES_BENCH_NO_METRICS?)");
+
+  // --- ns/op, per benchmark name.
+  for (const BenchResult& base : baseline.results) {
+    const BenchResult* cand = nullptr;
+    for (const BenchResult& r : candidate.results)
+      if (r.name == base.name) {
+        cand = &r;
+        break;
+      }
+    if (!cand) {
+      report.failures.push_back("benchmark disappeared: " + base.name);
+      continue;
+    }
+    if (base.real_time <= 0) continue;
+    const double ratio = cand->real_time / base.real_time;
+    char buf[256];
+    if (ratio > 1.0 + opts.time_tolerance) {
+      std::snprintf(buf, sizeof buf,
+                    "%s: %.1f -> %.1f %s/op (+%.0f%%, tolerance %.0f%%)",
+                    base.name.c_str(), base.real_time, cand->real_time,
+                    cand->time_unit.c_str(), (ratio - 1.0) * 100,
+                    opts.time_tolerance * 100);
+      (opts.fail_on_time ? report.failures : report.warnings)
+          .push_back(buf);
+    } else if (ratio < 1.0 - opts.time_tolerance) {
+      std::snprintf(buf, sizeof buf, "%s: improved %.1f -> %.1f %s/op",
+                    base.name.c_str(), base.real_time, cand->real_time,
+                    cand->time_unit.c_str());
+      report.notes.push_back(buf);
+    }
+  }
+  for (const BenchResult& r : candidate.results) {
+    bool known = false;
+    for (const BenchResult& base : baseline.results)
+      if (base.name == r.name) {
+        known = true;
+        break;
+      }
+    if (!known) report.notes.push_back("new benchmark: " + r.name);
+  }
+
+  // --- protocol counters.
+  for (const auto& [key, base_value] : baseline.metrics.counters) {
+    auto it = candidate.metrics.counters.find(key);
+    const std::uint64_t cand_value =
+        it == candidate.metrics.counters.end() ? 0 : it->second;
+    if (opts.counters == CounterMode::exact) {
+      if (cand_value != base_value)
+        report.failures.push_back(
+            "counter " + format_key(key) + ": " + std::to_string(base_value) +
+            " -> " + std::to_string(cand_value));
+    } else if (base_value > 0 && cand_value == 0) {
+      report.failures.push_back("counter went dark: " + format_key(key) +
+                                " (baseline " + std::to_string(base_value) +
+                                ", candidate 0)");
+    }
+  }
+  for (const auto& [key, value] : candidate.metrics.counters) {
+    if (value > 0 && !baseline.metrics.counters.count(key))
+      report.notes.push_back("new counter: " + format_key(key));
+  }
+  return report;
+}
+
+}  // namespace enclaves::tools
