@@ -8,8 +8,13 @@
 // Run: ./build/examples/lossy_link
 //
 // With ENCLAVES_OBS_OUT_DIR=<dir> set, the run also dumps its full event
-// trace, the stitched exchange spans, and the security ledger as JSONL
-// files into <dir> (the CI bench-smoke job archives these as artifacts).
+// trace, the stitched exchange spans, the security ledger, and the metrics
+// snapshot as JSON/JSONL files into <dir> (the CI bench-smoke job archives
+// these as artifacts; `enclaves_top --replay <dir> --prefix lossy_link_`
+// renders them). With ENCLAVES_OBS_SERVE_PORT=<port> set, the process stays
+// up after the run serving GET /metrics and /health on 127.0.0.1:<port> for
+// ENCLAVES_OBS_SERVE_MS milliseconds (default 3000) — the CI smoke test
+// scrapes both.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -21,6 +26,8 @@
 #include "crypto/password.h"
 #include "net/sim_network.h"
 #include "net/trace_chart.h"
+#include "obs/export_server.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/security.h"
 #include "obs/span.h"
@@ -111,6 +118,13 @@ int main() {
   (void)bob.join();
   net.run();
 
+  // Live health verdict over the same metrics the registry collects: the
+  // monitor re-evaluates every 4 ticks and narrates state transitions.
+  obs::HealthConfig health_config;
+  health_config.window = 4;
+  obs::HealthMonitor monitor(health_config);
+  obs::HealthState last_state = obs::HealthState::healthy;
+
   int rounds = 0;
   while (!converged() && rounds < 100) {
     ++rounds;
@@ -119,6 +133,15 @@ int main() {
     if (resent > 0)
       std::printf("  [tick %2d] %zu retransmissions\n", rounds, resent);
     net.run();
+    if (monitor.observe(static_cast<Tick>(rounds), metrics.snapshot())) {
+      const obs::HealthState state = monitor.group_state("L");
+      if (state != last_state) {
+        std::printf("  [health] group L: %s -> %s\n",
+                    std::string(obs::health_state_name(last_state)).c_str(),
+                    std::string(obs::health_state_name(state)).c_str());
+        last_state = state;
+      }
+    }
   }
 
   std::printf("\nconverged after %d retransmission rounds; %llu packets "
@@ -194,11 +217,42 @@ int main() {
               "failed authentication or freshness.\n",
               ledger.size());
 
+  // The whole run judged as one health window: cumulative totals against
+  // the thresholds. This is what /health serves and what the dump records —
+  // by run's end the *live* monitor has (correctly) de-escalated back to
+  // healthy, but the scraper and the replay viewer want the burst verdict.
+  obs::HealthMonitor run_verdict(health_config);
+  (void)run_verdict.observe(health_config.window, metrics.snapshot());
+  std::printf("\nwhole-run health verdict: %s\n",
+              std::string(obs::health_state_name(run_verdict.verdict().worst()))
+                  .c_str());
+
   if (const char* dir = std::getenv("ENCLAVES_OBS_OUT_DIR")) {
     std::printf("\ndumping observability artifacts to %s:\n", dir);
     dump_artifact(dir, "lossy_link_trace.jsonl", trace.to_jsonl());
     dump_artifact(dir, "lossy_link_spans.jsonl", obs::spans_to_jsonl(spans));
     dump_artifact(dir, "lossy_link_ledger.jsonl", ledger.to_jsonl());
+    dump_artifact(dir, "lossy_link_metrics.json", metrics.to_json() + "\n");
+    dump_artifact(dir, "lossy_link_health.json",
+                  run_verdict.verdict().to_json() + "\n");
+  }
+
+  if (const char* port_env = std::getenv("ENCLAVES_OBS_SERVE_PORT")) {
+    obs::ExpositionServer::Options options;
+    options.port = static_cast<std::uint16_t>(std::atoi(port_env));
+    obs::ExpositionServer server(metrics, &run_verdict, options);
+    auto port = server.start();
+    if (port) {
+      int serve_ms = 3000;
+      if (const char* ms_env = std::getenv("ENCLAVES_OBS_SERVE_MS"))
+        serve_ms = std::atoi(ms_env);
+      std::printf("\nserving /metrics and /health on 127.0.0.1:%u for %d ms\n",
+                  static_cast<unsigned>(*port), serve_ms);
+      std::fflush(stdout);
+      server.run_for(serve_ms);
+    } else {
+      std::printf("\ncould not bind telemetry port %s\n", port_env);
+    }
   }
   return converged() ? 0 : 1;
 }

@@ -1,0 +1,263 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace enclaves::net {
+
+namespace {
+
+Status set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return make_error(Errc::io_error, "fcntl O_NONBLOCK");
+  return Status::success();
+}
+
+}  // namespace
+
+std::string_view http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Status";
+}
+
+std::string http_serialize(const HttpResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(response.status) + " ";
+  out += http_status_reason(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+Result<std::uint16_t> HttpServer::listen(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return make_error(Errc::io_error, "socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error, std::string("bind: ") + strerror(errno));
+  }
+  if (::listen(fd, 16) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error, "listen");
+  }
+  if (auto s = set_nonblocking(fd); !s) {
+    ::close(fd);
+    return s.error();
+  }
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return make_error(Errc::io_error, "getsockname");
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<std::uint16_t>(ntohs(addr.sin_port));
+  return port_;
+}
+
+void HttpServer::accept_pending() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN or error: nothing more to accept
+    if (auto s = set_nonblocking(fd); !s) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (conns_.size() >= max_connections_) {
+      // Over the bound: one canned 503 write, then gone. Best-effort — a
+      // full socket buffer just means the refusal is silent.
+      ++rejected_;
+      obs::count("net", "http", "connections_rejected_total");
+      const std::string refusal = http_serialize(
+          HttpResponse{503, "text/plain; charset=utf-8", "busy\n"});
+      (void)!::send(fd, refusal.data(), refusal.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
+  }
+}
+
+void HttpServer::respond(int fd, const HttpResponse& response) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second.out = http_serialize(response);
+  it->second.responded = true;
+  ++requests_served_;
+  obs::count("net", "http", "requests_total");
+  obs::count("net", "http",
+             "responses_" + std::to_string(response.status) + "_total");
+  flush(fd);
+}
+
+bool HttpServer::read_from(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      obs::count("net", "http", "bytes_received_total",
+                 static_cast<std::uint64_t>(n));
+      it->second.in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed before (or after) the request
+      drop(fd);
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    drop(fd);
+    return true;
+  }
+
+  Conn& conn = it->second;
+  if (conn.responded) return true;  // draining the write side only
+  if (conn.in.size() > kMaxRequestBytes) {
+    respond(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                             "request too large\n"});
+    return true;
+  }
+  const std::size_t end = conn.in.find("\r\n\r\n");
+  if (end == std::string::npos) return true;  // headers still incomplete
+
+  // Request line: METHOD SP target SP version. Headers and any body are
+  // deliberately ignored.
+  const std::size_t line_end = conn.in.find("\r\n");
+  const std::string line = conn.in.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    respond(fd, HttpResponse{400, "text/plain; charset=utf-8",
+                             "malformed request line\n"});
+    return true;
+  }
+  HttpRequest request{line.substr(0, sp1),
+                      line.substr(sp1 + 1, sp2 - sp1 - 1)};
+  if (request.method != "GET") {
+    respond(fd, HttpResponse{405, "text/plain; charset=utf-8",
+                             "only GET is served here\n"});
+    return true;
+  }
+  if (!handler_) {
+    respond(fd, HttpResponse{404, "text/plain; charset=utf-8",
+                             "no handler installed\n"});
+    return true;
+  }
+  respond(fd, handler_(request));
+  return true;
+}
+
+bool HttpServer::flush(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  std::string& out = it->second.out;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      obs::count("net", "http", "bytes_sent_total",
+                 static_cast<std::uint64_t>(n));
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    drop(fd);
+    return false;
+  }
+  out.erase(0, off);
+  if (it->second.responded && out.empty()) drop(fd);  // response fully sent
+  return true;
+}
+
+void HttpServer::drop(int fd) {
+  conns_.erase(fd);
+  ::close(fd);
+}
+
+std::size_t HttpServer::poll_once(int timeout_ms) {
+  std::vector<pollfd> fds;
+  if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+  for (const auto& [fd, conn] : conns_) {
+    short events = POLLIN;
+    if (!conn.out.empty()) events |= POLLOUT;
+    fds.push_back({fd, events, 0});
+  }
+  if (fds.empty()) return 0;
+
+  int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (rc <= 0) return 0;
+
+  std::size_t handled = 0;
+  for (const auto& p : fds) {
+    if (p.revents == 0) continue;
+    ++handled;
+    if (p.fd == listen_fd_) {
+      accept_pending();
+      continue;
+    }
+    if (p.revents & (POLLERR | POLLHUP)) {
+      if (conns_.count(p.fd)) drop(p.fd);
+      continue;
+    }
+    if (p.revents & POLLIN) read_from(p.fd);
+    if ((p.revents & POLLOUT) && conns_.count(p.fd)) flush(p.fd);
+  }
+  return handled;
+}
+
+void HttpServer::run_for(int deadline_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    poll_once(static_cast<int>(std::max<long long>(1, left)));
+  }
+}
+
+}  // namespace enclaves::net

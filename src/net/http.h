@@ -1,0 +1,104 @@
+// Minimal poll(2)-based HTTP/1.0 server for the telemetry plane.
+//
+// The exposition endpoints (obs/export_server.h) need exactly one thing from
+// HTTP: a scraper can GET a path and read a body. This server provides that
+// and nothing more — request line + headers parsed, bodies ignored, every
+// response closes the connection. It follows the TcpNode pattern (same
+// poll loop, same single-threaded dispatch model: all I/O and handler
+// calls happen inside poll_once()/run_for()) but speaks raw HTTP instead
+// of length-prefixed envelope frames.
+//
+// Connections are bounded: past `max_connections`, new sockets are answered
+// with a canned 503 and closed before they can queue work. A request line
+// longer than kMaxRequestBytes is answered 400 — this is a telemetry port,
+// not a general web server, and hostile input gets the cheapest exit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/result.h"
+
+namespace enclaves::net {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // path as sent, e.g. "/metrics"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of statuses the telemetry plane
+/// uses; "Status" for anything unrecognised.
+std::string_view http_status_reason(int status);
+
+/// Serialises a response as an HTTP/1.0 message (Connection: close).
+std::string http_serialize(const HttpResponse& response);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  static constexpr std::size_t kMaxRequestBytes = 4096;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Accepted sockets beyond this many concurrent connections are answered
+  /// 503 and closed immediately.
+  void set_max_connections(std::size_t n) { max_connections_ = n; }
+
+  /// Starts listening on 127.0.0.1:`port` (0 = ephemeral). Returns the
+  /// bound port.
+  Result<std::uint16_t> listen(std::uint16_t port);
+
+  /// Processes pending I/O; returns the number of poll events handled.
+  /// `timeout_ms` < 0 blocks until an event arrives.
+  std::size_t poll_once(int timeout_ms);
+
+  /// Drives poll_once until `deadline_ms` elapses.
+  void run_for(int deadline_ms);
+
+  /// Closes the listener and every open connection.
+  void stop();
+
+  bool listening() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  std::size_t connection_count() const { return conns_.size(); }
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t connections_rejected() const { return rejected_; }
+
+ private:
+  struct Conn {
+    std::string in;   // request bytes until the blank line
+    std::string out;  // serialized response (partial writes)
+    bool responded = false;
+  };
+
+  void accept_pending();
+  bool read_from(int fd);
+  bool flush(int fd);
+  void drop(int fd);
+  void respond(int fd, const HttpResponse& response);
+
+  Handler handler_;
+  std::size_t max_connections_ = 8;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<int, Conn> conns_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace enclaves::net

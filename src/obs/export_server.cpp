@@ -1,0 +1,56 @@
+#include "obs/export_server.h"
+
+namespace enclaves::obs {
+
+ExpositionServer::ExpositionServer(const MetricsRegistry& registry,
+                                   const HealthMonitor* monitor)
+    : ExpositionServer(registry, monitor, Options{}) {}
+
+ExpositionServer::ExpositionServer(const MetricsRegistry& registry,
+                                   const HealthMonitor* monitor,
+                                   Options options)
+    : registry_(registry), monitor_(monitor), options_(options) {
+  http_.set_max_connections(options_.max_connections);
+  http_.set_handler(
+      [this](const net::HttpRequest& request) { return respond(request); });
+}
+
+net::HttpResponse ExpositionServer::respond(
+    const net::HttpRequest& request) const {
+  net::HttpResponse response;
+  if (request.target == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = render_prometheus(registry_.snapshot(), options_.prom);
+    return response;
+  }
+  if (request.target == "/health") {
+    response.content_type = "application/json";
+    if (monitor_ == nullptr) {
+      response.body =
+          "{\"tick\":0,\"windows\":0,\"state\":\"healthy\",\"groups\":{}}";
+      return response;
+    }
+    const HealthVerdict& verdict = monitor_->verdict();
+    response.body = verdict.to_json();
+    if (verdict.worst() >= HealthState::partitioned) {
+      response.status = 503;  // partitioned or under_attack
+    }
+    return response;
+  }
+  if (request.target == "/" || request.target == "/index") {
+    response.body =
+        "enclaves telemetry\n"
+        "  /metrics  Prometheus text exposition\n"
+        "  /health   HealthMonitor verdict (JSON)\n";
+    return response;
+  }
+  response.status = 404;
+  response.body = "not found\n";
+  return response;
+}
+
+Result<std::uint16_t> ExpositionServer::start() {
+  return http_.listen(options_.port);
+}
+
+}  // namespace enclaves::obs

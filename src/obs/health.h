@@ -1,0 +1,150 @@
+// Rolling-window health monitor: fuses the windowed `security.*` / `ha.*` /
+// retry metrics and per-peer SecurityLedger suspicion into one typed verdict
+// per group and per peer — the live answer to "is this group healthy,
+// degraded, partitioned, or under attack, and because of whom?".
+//
+// The monitor is strictly read-only: it consumes MetricsSnapshot diffs and
+// never feeds back into protocol decisions (DESIGN rule: evidence informs
+// operators, the protocol's own refusal logic is the enforcement). Its
+// outputs are a verdict object (the /health body), per-subject gauges in
+// the metrics plane, and a `health` trace event on every state transition.
+//
+// Taxonomy and ranking (least to most severe):
+//   healthy      — nothing notable inside the window
+//   degraded     — the liveness layer is visibly paying for faults
+//                  (retransmits/reanswers over threshold, refusals observed)
+//   partitioned  — someone is unreachable: a member suspected its leader,
+//                  rejoined after expulsion, was expelled, retargeted to a
+//                  standby, or the leader abandoned exchanges/expelled
+//   under_attack — windowed ledger suspicion accusing one peer crossed the
+//                  attack threshold (the Xu-style insider signal)
+//
+// Attribution caveat (same as the ledger's): `under_attack` names the peer
+// the *envelope sender* fields accuse; a partitioned member is flagged by
+// its own suspicion/rejoin evidence, which cannot distinguish "that member
+// is cut off" from "the leader is cut off from everyone" — a fully
+// partitioned leader simply flags every peer plus its own ha.* suspicion.
+//
+// Hysteresis: escalation applies the moment a window's evidence crosses a
+// threshold (thresholds are set so one stray fault stays below them);
+// de-escalation requires `clear_windows` consecutive quieter windows, so a
+// verdict never flaps on the boundary of a fault burst.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace enclaves::obs {
+
+enum class HealthState : std::uint8_t {
+  healthy = 0,
+  degraded = 1,
+  partitioned = 2,
+  under_attack = 3,
+};
+
+/// Stable lowercase name ("healthy", "degraded", ...) for JSON and gauges.
+std::string_view health_state_name(HealthState state);
+
+inline HealthState worse(HealthState a, HealthState b) {
+  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
+}
+
+struct HealthConfig {
+  /// Minimum ticks between evaluated windows; observe() calls inside a
+  /// window only refresh the pending snapshot.
+  Tick window = 16;
+  /// Windowed retransmits+reanswers at/above which a peer is degraded (set
+  /// above 2 so a single dropped packet and its repair never flap a state).
+  std::uint64_t degraded_retransmits = 3;
+  /// Windowed refusals observed by a peer at/above which it is degraded
+  /// (it is seeing traffic that fails authentication or freshness).
+  std::uint64_t degraded_refusals = 1;
+  /// Windowed connectivity-loss signals (suspicions, rejoins, expulsions,
+  /// failover retargets) at/above which a peer is partitioned.
+  std::uint64_t partition_signals = 1;
+  /// Windowed ledger suspicion accusing one peer at/above which that peer
+  /// is flagged under_attack.
+  std::uint64_t attack_suspicion = 5;
+  /// Consecutive quieter windows required before a state de-escalates.
+  int clear_windows = 2;
+};
+
+/// Per-peer window evidence and the resulting (hysteresis-filtered) state.
+struct PeerHealth {
+  HealthState state = HealthState::healthy;
+  std::string why;  // dominant evidence, human-readable; empty when healthy
+  std::uint64_t suspicion = 0;          // cumulative ledger suspicion
+  std::uint64_t window_retransmits = 0; // retransmits+reanswers this window
+  std::uint64_t window_refusals = 0;    // refusals this peer observed
+  std::uint64_t window_suspicion = 0;   // new suspicion accusing this peer
+  std::uint64_t window_partition_signals = 0;
+
+  friend bool operator==(const PeerHealth&, const PeerHealth&) = default;
+};
+
+struct GroupHealth {
+  HealthState state = HealthState::healthy;
+  std::string why;
+  std::map<std::string, PeerHealth> peers;
+
+  friend bool operator==(const GroupHealth&, const GroupHealth&) = default;
+};
+
+struct HealthVerdict {
+  Tick tick = 0;     // tick of the newest evaluated window
+  std::uint64_t windows = 0;  // how many windows have been evaluated
+  std::map<std::string, GroupHealth> groups;
+
+  HealthState worst() const;
+
+  /// The /health body: {"tick":..,"state":"..","groups":{..}} with every
+  /// string escaped via json_escape.h (hostile agent ids survive).
+  std::string to_json() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {}) : config_(config) {}
+
+  /// Feeds one sample. When at least `config.window` ticks have passed
+  /// since the last evaluated window (or on the first call), diffs the
+  /// snapshot against the previous window's, re-derives every state, emits
+  /// gauges (group "health") and a `health` trace event per transition, and
+  /// returns true. Otherwise retains nothing and returns false.
+  bool observe(Tick now, const MetricsSnapshot& snapshot);
+
+  const HealthVerdict& verdict() const { return verdict_; }
+  const HealthConfig& config() const { return config_; }
+
+  /// healthy when the group/peer is unknown (never observed).
+  HealthState group_state(std::string_view group) const;
+  HealthState peer_state(std::string_view group,
+                         std::string_view peer) const;
+
+ private:
+  struct Hysteresis {
+    HealthState state = HealthState::healthy;
+    int quiet = 0;  // consecutive windows with raw < state
+  };
+
+  void evaluate(Tick now, const MetricsSnapshot& prev,
+                const MetricsSnapshot& cur);
+  HealthState apply_hysteresis(Hysteresis& h, HealthState raw);
+
+  HealthConfig config_;
+  bool evaluated_ = false;
+  Tick last_window_ = 0;
+  MetricsSnapshot prev_;
+  HealthVerdict verdict_;
+  std::map<std::string, Hysteresis> group_hysteresis_;
+  std::map<std::string, Hysteresis> peer_hysteresis_;  // "group/peer" keyed
+};
+
+}  // namespace enclaves::obs

@@ -66,7 +66,14 @@ EvidenceKind evidence_kind_for(Errc code) {
 
 void SecurityLedger::record(SecurityEvidence evidence) {
   std::lock_guard lock(mutex_);
-  if (!evidence.accused.empty()) ++suspicion_[evidence.accused];
+  if (!evidence.accused.empty()) {
+    const std::uint64_t count = ++suspicion_[evidence.accused];
+    // First-class gauge so per-peer suspicion appears on /metrics without
+    // bespoke glue (distinct from the monotonic suspicion_total counter the
+    // security_event helper bumps).
+    gauge_set("security", evidence.accused, "suspicion",
+              static_cast<std::int64_t>(count));
+  }
   entries_.push_back(std::move(evidence));
 }
 

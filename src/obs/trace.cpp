@@ -36,6 +36,7 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::repl_gap: return "repl_gap";
     case TraceKind::promote: return "promote";
     case TraceKind::fence: return "fence";
+    case TraceKind::health: return "health";
   }
   return "unknown";
 }

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace enclaves::obs {
@@ -49,6 +50,10 @@ enum class TraceKind : std::uint8_t {
   promote,        // standby promoted to active leader (value: fenced epoch)
   fence,          // lower-epoch traffic rejected / old leader deposed
                   //   (detail: why, value: offending epoch)
+
+  // Live telemetry plane (obs/health.h): a HealthMonitor verdict changed
+  // state for a group or peer (detail: old->new, value: numeric new state).
+  health,
 };
 
 /// Stable lowercase name for JSONL export and chart rendering.
@@ -73,6 +78,7 @@ class TraceLog {
     if (capacity_ != 0 && events_.size() == capacity_) {
       events_.pop_front();
       ++dropped_;
+      publish_dropped();
     }
     events_.push_back(std::move(event));
   }
@@ -84,10 +90,13 @@ class TraceLog {
   void set_capacity(std::size_t capacity) {
     std::lock_guard lock(mutex_);
     capacity_ = capacity;
+    bool evicted = false;
     while (capacity_ != 0 && events_.size() > capacity_) {
       events_.pop_front();
       ++dropped_;
+      evicted = true;
     }
+    if (evicted) publish_dropped();
   }
 
   std::size_t capacity() const {
@@ -123,6 +132,14 @@ class TraceLog {
   std::string to_jsonl() const;
 
  private:
+  // Mirrors the eviction counter into the metrics plane so ring-buffer loss
+  // is visible on /metrics without bespoke glue (called under mutex_; the
+  // registry has its own lock and never calls back into the trace).
+  void publish_dropped() {
+    gauge_set("obs", "trace", "dropped_events",
+              static_cast<std::int64_t>(dropped_));
+  }
+
   mutable std::mutex mutex_;
   std::deque<TraceEvent> events_;
   std::size_t capacity_ = 0;  // 0 = unbounded

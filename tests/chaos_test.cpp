@@ -34,6 +34,7 @@
 #include "core/registry.h"
 #include "net/fault.h"
 #include "net/sim_network.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/security.h"
 #include "obs/span.h"
@@ -780,6 +781,160 @@ TEST(Chaos, ExpelledMemberRejoinsWithFreshKeysOnly) {
       << "rejoined member accepted the pre-expulsion group key";
   // And the epochs it accepted never regressed.
   assert_strictly_increasing(w.trackers["m1"].epochs, "m1 epochs");
+}
+
+// HealthMonitor under chaos: for every seeded fault schedule the live
+// verdict pipeline must (a) score at least one window non-healthy while the
+// injector is interfering, (b) attribute the scripted partition to the
+// member it actually cut off, and (c) walk back to healthy once the faults
+// stop — all reconciled against the injector's own statistics, so a verdict
+// can never claim trouble the network didn't cause or miss trouble it did.
+class ChaosHealth : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosHealth, VerdictTracksInjectedFaultsAndRecovery) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  ChaosWorld w(seed, plan_for_seed(seed));
+
+  obs::HealthConfig config;
+  config.window = 8;  // one heartbeat interval per window
+  obs::HealthMonitor monitor(config);
+  obs::HealthState worst_seen = obs::HealthState::healthy;
+  obs::HealthState worst_m2 = obs::HealthState::healthy;
+  auto pump = [&] {
+    if (!monitor.observe(static_cast<Tick>(w.step_count),
+                         w.metrics.snapshot()))
+      return;
+    worst_seen = obs::worse(worst_seen, monitor.verdict().worst());
+    worst_m2 = obs::worse(worst_m2, monitor.peer_state("L", "m2"));
+  };
+
+  // Phase 1+2: join storm and admin traffic under the seed's fault
+  // schedule, with the monitor watching every step.
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  bool joined = false;
+  for (int t = 0; t < 3000 && !joined; ++t) {
+    w.step();
+    pump();
+    joined = w.converged() && w.net.queue_size() == 0 &&
+             w.net.held_size() == 0;
+  }
+  ASSERT_TRUE(joined) << "join phase did not converge, seed=" << seed;
+  for (int i = 0; i < 4; ++i) {
+    w.leader->broadcast_notice("n" + std::to_string(w.notice_counter++));
+    w.step();
+    pump();
+  }
+
+  // Phase 3: partition m2 until the leader's budgeted retries expel it,
+  // then heal and let auto-rejoin repair the group.
+  w.injector.partition({ChaosWorld::member_id(2)});
+  for (int t = 0; t < 400 && w.leader->is_member("m2"); ++t) {
+    w.step();
+    pump();
+  }
+  EXPECT_FALSE(w.leader->is_member("m2"))
+      << "auto-expel never fired, seed=" << seed;
+  w.injector.heal();
+  bool recovered = false;
+  for (int t = 0; t < 4000 && !recovered; ++t) {
+    w.step();
+    pump();
+    recovered = w.converged() && w.net.queue_size() == 0 &&
+                w.net.held_size() == 0;
+  }
+  ASSERT_TRUE(recovered) << "post-heal convergence failed, seed=" << seed;
+
+  // Quiet phase: stop all faults and run enough windows for (i) the last
+  // in-flight window — convergence can land mid-window, so m2's rejoin
+  // delta may still be pending — and (ii) the hysteresis to clear.
+  w.net.set_tap([](const net::Packet&) { return net::TapVerdict::deliver; });
+  const int quiet_steps =
+      static_cast<int>((config.clear_windows + 3) * config.window) + 1;
+  for (int t = 0; t < quiet_steps; ++t) {
+    w.step();
+    pump();
+  }
+
+  // Reconciliation (a): the injector provably interfered (the partition
+  // drops heartbeats at minimum), so some window must have scored the
+  // group non-healthy.
+  const net::FaultInjector::Stats& stats = w.injector.stats();
+  EXPECT_GT(stats.dropped + stats.partition_dropped, 0u);
+  EXPECT_NE(worst_seen, obs::HealthState::healthy)
+      << "faults were injected but every window scored healthy";
+
+  // (b) Attribution: the cut-off member itself reached partitioned (or
+  // worse) — its suspicion/expulsion/rejoin signals all name m2.
+  EXPECT_GE(static_cast<int>(worst_m2),
+            static_cast<int>(obs::HealthState::partitioned))
+      << "partitioned member was never attributed, seed=" << seed;
+
+  // No fabricated intrusion: pure network faults may only escalate to
+  // under_attack if the security ledger really accumulated that much
+  // windowed suspicion.
+  if (worst_seen == obs::HealthState::under_attack) {
+    EXPECT_GE(w.metrics.counter_total("suspicion_total"),
+              static_cast<std::uint64_t>(config.attack_suspicion));
+  }
+
+  // (c) Recovery: after the quiet windows the verdict must have walked
+  // back to healthy everywhere.
+  EXPECT_EQ(monitor.group_state("L"), obs::HealthState::healthy)
+      << "verdict did not de-escalate after recovery, seed=" << seed;
+  ASSERT_EQ(monitor.verdict().groups.count("L"), 1u);
+  for (const auto& [peer, ph] : monitor.verdict().groups.at("L").peers)
+    EXPECT_EQ(ph.state, obs::HealthState::healthy)
+        << "peer " << peer << " stuck at " << obs::health_state_name(ph.state)
+        << " (" << ph.why << "), seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosHealth,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+// The zero-false-positive half of the gate: a fault-free schedule must
+// never leave healthy — no window may invent degradation, let alone an
+// intrusion, out of clean traffic.
+TEST(ChaosHealthClean, FaultFreeScheduleStaysHealthyThroughout) {
+  ChaosWorld w(/*seed=*/424242, net::FaultPlan{});
+
+  obs::HealthConfig config;
+  config.window = 8;
+  obs::HealthMonitor monitor(config);
+  obs::HealthState worst_seen = obs::HealthState::healthy;
+  auto pump = [&] {
+    if (monitor.observe(static_cast<Tick>(w.step_count),
+                        w.metrics.snapshot()))
+      worst_seen = obs::worse(worst_seen, monitor.verdict().worst());
+  };
+
+  for (auto& [id, m] : w.members) ASSERT_TRUE(m->join().ok());
+  bool joined = false;
+  for (int t = 0; t < 3000 && !joined; ++t) {
+    w.step();
+    pump();
+    joined = w.converged() && w.net.queue_size() == 0 &&
+             w.net.held_size() == 0;
+  }
+  ASSERT_TRUE(joined);
+  for (int i = 0; i < 24; ++i) {
+    if (i % 3 == 0)
+      w.leader->broadcast_notice("n" + std::to_string(w.notice_counter++));
+    auto& m = *w.members[ChaosWorld::member_id(i % ChaosWorld::kMembers)];
+    if (m.connected() && m.has_group_key())
+      (void)m.send_data(to_bytes("d" + std::to_string(i) + "#" +
+                                 std::to_string(i)));
+    w.step();
+    pump();
+  }
+
+  const net::FaultInjector::Stats& stats = w.injector.stats();
+  EXPECT_EQ(stats.dropped + stats.partition_dropped + stats.duplicated +
+                stats.delayed,
+            0u);
+  EXPECT_EQ(worst_seen, obs::HealthState::healthy)
+      << "clean schedule produced a non-healthy window: "
+      << obs::health_state_name(worst_seen);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// HealthMonitor unit tests: threshold taxonomy (degraded / partitioned /
+// under_attack), windowed deltas vs cumulative totals, hysteresis, gauge and
+// trace emission, and verdict JSON for hostile ids.
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/security.h"
+#include "obs/trace.h"
+
+namespace enclaves::obs {
+namespace {
+
+MetricsSnapshot snap(
+    std::initializer_list<std::pair<MetricKey, std::uint64_t>> counters) {
+  MetricsSnapshot s;
+  for (const auto& [key, value] : counters) s.counters[key] = value;
+  return s;
+}
+
+TEST(HealthMonitor, StartsHealthyWithNoGroups) {
+  HealthMonitor monitor;
+  EXPECT_EQ(monitor.verdict().worst(), HealthState::healthy);
+  EXPECT_TRUE(monitor.observe(1, MetricsSnapshot{}));
+  EXPECT_EQ(monitor.verdict().worst(), HealthState::healthy);
+  EXPECT_TRUE(monitor.verdict().groups.empty());
+  EXPECT_EQ(monitor.group_state("L"), HealthState::healthy);
+}
+
+TEST(HealthMonitor, WindowGatingHonoursConfig) {
+  HealthMonitor monitor;  // window = 16
+  EXPECT_TRUE(monitor.observe(1, MetricsSnapshot{}));
+  EXPECT_FALSE(monitor.observe(2, MetricsSnapshot{}));
+  EXPECT_FALSE(monitor.observe(16, MetricsSnapshot{}));
+  EXPECT_TRUE(monitor.observe(17, MetricsSnapshot{}));
+}
+
+TEST(HealthMonitor, QuietGroupIsHealthy) {
+  HealthMonitor monitor;
+  monitor.observe(
+      1, snap({{{"L", "alice", "data_delivered_total"}, 10},
+               {{"L", "alice", "retransmits_total"}, 2}}));  // below 3
+  EXPECT_EQ(monitor.group_state("L"), HealthState::healthy);
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::healthy);
+}
+
+TEST(HealthMonitor, RetransmitsOverThresholdDegrade) {
+  HealthMonitor monitor;
+  monitor.observe(1, snap({{{"L", "alice", "retransmits_total"}, 2},
+                           {{"L", "alice", "reanswers_total"}, 1}}));
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::degraded);
+  EXPECT_EQ(monitor.group_state("L"), HealthState::degraded);
+  const PeerHealth& ph =
+      monitor.verdict().groups.at("L").peers.at("alice");
+  EXPECT_EQ(ph.window_retransmits, 3u);
+  EXPECT_EQ(ph.why, "3 retransmits/reanswers in window");
+}
+
+TEST(HealthMonitor, DeltasNotTotalsDriveTheVerdict) {
+  HealthConfig config;
+  config.clear_windows = 1;  // de-escalate after one quiet window
+  HealthMonitor monitor(config);
+  const MetricsSnapshot burst =
+      snap({{{"L", "alice", "retransmits_total"}, 5}});
+  monitor.observe(16, burst);
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::degraded);
+  // Same cumulative totals next window: zero delta, so the evidence is gone
+  // and (with clear_windows=1) the state returns to healthy.
+  monitor.observe(32, burst);
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::healthy);
+}
+
+TEST(HealthMonitor, HysteresisHoldsThenClears) {
+  HealthMonitor monitor;  // clear_windows = 2
+  const MetricsSnapshot burst =
+      snap({{{"L", "alice", "retransmits_total"}, 5}});
+  monitor.observe(16, burst);
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::degraded);
+  monitor.observe(32, burst);  // quiet window 1: held
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::degraded);
+  const std::string held_why =
+      monitor.verdict().groups.at("L").peers.at("alice").why;
+  EXPECT_NE(held_why.find("holding degraded"), std::string::npos) << held_why;
+  monitor.observe(48, burst);  // quiet window 2: clears
+  EXPECT_EQ(monitor.peer_state("L", "alice"), HealthState::healthy);
+}
+
+TEST(HealthMonitor, ConnectivitySignalsMeanPartitioned) {
+  HealthMonitor monitor;
+  monitor.observe(16, snap({{{"L", "m2", "suspicions_total"}, 1},
+                            {{"L", "m2", "retransmits_total"}, 9}}));
+  // Partitioned outranks the degraded evidence in the same window.
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::partitioned);
+  EXPECT_EQ(monitor.group_state("L"), HealthState::partitioned);
+}
+
+TEST(HealthMonitor, LeaderAbandonsPartitionTheGroupNotThePeer) {
+  HealthMonitor monitor;
+  monitor.observe(16, snap({{{"L", "L", "exchanges_abandoned_total"}, 2},
+                            {{"L", "alice", "data_delivered_total"}, 1}}));
+  EXPECT_EQ(monitor.group_state("L"), HealthState::partitioned);
+  EXPECT_EQ(monitor.peer_state("L", "L"), HealthState::healthy);
+  EXPECT_NE(monitor.verdict().groups.at("L").why.find("abandoned"),
+            std::string::npos);
+}
+
+TEST(HealthMonitor, WindowedSuspicionMeansUnderAttack) {
+  MetricsRegistry registry;
+  TraceLog trace_log;
+  ScopedMetricsSink metrics_sink(registry);
+  ScopedTraceSink trace_sink(trace_log);
+
+  registry.add("L", "mallory", "data_rejects_total", 0);  // group presence
+  for (int i = 0; i < 5; ++i)
+    security_event(static_cast<Tick>(i), EvidenceKind::replayed_seq, "L",
+                   "alice", "mallory");
+
+  HealthMonitor monitor;
+  EXPECT_TRUE(monitor.observe(16, registry.snapshot()));
+  EXPECT_EQ(monitor.peer_state("L", "mallory"), HealthState::under_attack);
+  EXPECT_EQ(monitor.group_state("L"), HealthState::under_attack);
+  EXPECT_EQ(monitor.verdict().worst(), HealthState::under_attack);
+
+  // Emission: numeric gauges under the reserved "health" group...
+  EXPECT_EQ(registry.gauge("health", "L", "group_state"),
+            static_cast<std::int64_t>(HealthState::under_attack));
+  EXPECT_EQ(registry.gauge("health", "L/mallory", "peer_state"),
+            static_cast<std::int64_t>(HealthState::under_attack));
+  // ...and a health trace event per transition.
+  bool saw_transition = false;
+  for (const TraceEvent& e : trace_log.events()) {
+    if (e.kind == TraceKind::health && e.agent == "mallory") {
+      EXPECT_EQ(e.detail, "healthy->under_attack");
+      EXPECT_EQ(e.value, static_cast<std::uint64_t>(
+                             HealthState::under_attack));
+      saw_transition = true;
+    }
+  }
+  EXPECT_TRUE(saw_transition);
+}
+
+TEST(HealthMonitor, MonitorGaugesDoNotFeedBackIntoDiscovery) {
+  MetricsRegistry registry;
+  ScopedMetricsSink metrics_sink(registry);
+  registry.add("L", "alice", "retransmits_total", 5);
+  HealthMonitor monitor;
+  monitor.observe(16, registry.snapshot());
+  // Second window sees the health/net/security gauges the first one wrote;
+  // none of them may appear as protocol groups.
+  monitor.observe(32, registry.snapshot());
+  ASSERT_EQ(monitor.verdict().groups.size(), 1u);
+  EXPECT_TRUE(monitor.verdict().groups.count("L"));
+}
+
+TEST(HealthMonitor, InfrastructureGroupsAreNotProtocolGroups) {
+  HealthMonitor monitor;
+  monitor.observe(16, snap({{{"net", "sim", "packets_dropped_total"}, 50},
+                            {{"crypto", "x", "opens_total"}, 3},
+                            {{"security", "alice", "refusals_total"}, 2},
+                            {{"ha", "s1", "suspicions_total"}, 1},
+                            {{"obs", "trace", "anything_total"}, 1}}));
+  EXPECT_TRUE(monitor.verdict().groups.empty());
+}
+
+TEST(HealthVerdict, JsonEscapesHostileIdsAndNamesStates) {
+  HealthMonitor monitor;
+  monitor.observe(
+      16, snap({{{"L", "evil\"agent\nid", "retransmits_total"}, 5}}));
+  const std::string json = monitor.verdict().to_json();
+  EXPECT_NE(json.find("\"state\":\"degraded\""), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // newline escaped
+  EXPECT_NE(json.find("evil\\\"agent\\nid"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"windows\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enclaves::obs

@@ -1,0 +1,201 @@
+// enclaves_top: live dashboard over the telemetry plane.
+//
+// Two sources:
+//   enclaves_top --connect PORT [--host 127.0.0.1]   poll GET /metrics
+//   enclaves_top --replay DIR [--prefix lossy_link_] render dumped artifacts
+//
+// Poll mode scrapes the Prometheus body, rebuilds a MetricsSnapshot
+// (snapshot_from_prometheus), and drives its own Aggregator + HealthMonitor
+// — the same verdict pipeline the process under observation runs, applied
+// from outside, one window per poll. Replay mode renders one frame from an
+// ENCLAVES_OBS_OUT_DIR dump (<prefix>metrics.json + <prefix>ledger.jsonl).
+//
+// All rendering is in enclaves_top_lib.h (golden-tested); this file is
+// argument parsing, file reading, and a minimal blocking HTTP GET.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/health.h"
+#include "tools/enclaves_top_lib.h"
+
+namespace {
+
+using namespace enclaves;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: enclaves_top --connect PORT [--host H] [--once]"
+      " [--interval-ms N]\n"
+      "       enclaves_top --replay DIR [--prefix P] [--ledger-tail N]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return in ? out.str() : std::string();
+}
+
+/// Blocking HTTP/1.0 GET; returns the body, or empty on any failure.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t split = reply.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : reply.substr(split + 4);
+}
+
+int run_replay(const std::string& dir, const std::string& prefix,
+               top::TopOptions options) {
+  const std::string metrics_json = read_file(dir + "/" + prefix +
+                                             "metrics.json");
+  if (metrics_json.empty()) {
+    std::fprintf(stderr, "enclaves_top: cannot read %s/%smetrics.json\n",
+                 dir.c_str(), prefix.c_str());
+    return 1;
+  }
+  const std::string ledger = read_file(dir + "/" + prefix + "ledger.jsonl");
+  auto frame = top::frame_from_replay(metrics_json, ledger, options);
+  if (!frame) {
+    std::fprintf(stderr, "enclaves_top: malformed metrics json\n");
+    return 1;
+  }
+  std::fputs(top::render_frame(*frame, options).c_str(), stdout);
+  return 0;
+}
+
+int run_connect(const std::string& host, std::uint16_t port, bool once,
+                int interval_ms, top::TopOptions options) {
+  obs::Aggregator aggregator;
+  obs::HealthMonitor monitor(options.health);
+  static const char* kRateNames[] = {
+      "retransmits_total", "data_delivered_total", "suspicions_total",
+      "refusals_total",    "rekeys_applied_total",
+  };
+  Tick tick = 0;
+  for (;;) {
+    const std::string body = http_get(host, port, "/metrics");
+    if (body.empty()) {
+      std::fprintf(stderr, "enclaves_top: no response from %s:%u/metrics\n",
+                   host.c_str(), port);
+      return 1;
+    }
+    auto families = obs::parse_prometheus(body);
+    if (!families) {
+      std::fprintf(stderr, "enclaves_top: unparseable /metrics body\n");
+      return 1;
+    }
+    auto snapshot = obs::snapshot_from_prometheus(*families, "enclaves_");
+    if (!snapshot) {
+      std::fprintf(stderr, "enclaves_top: bad sample in /metrics body\n");
+      return 1;
+    }
+
+    tick += monitor.config().window;  // one health window per poll
+    aggregator.observe(tick, *snapshot);
+    monitor.observe(tick, *snapshot);
+
+    top::TopFrame frame;
+    frame.tick = tick;
+    frame.verdict = monitor.verdict();
+    frame.snapshot = aggregator.latest();
+    for (const char* name : kRateNames) {
+      std::vector<std::uint64_t> xs = aggregator.series_total(name);
+      if (!xs.empty()) frame.rates[name] = std::move(xs);
+    }
+
+    if (!once) std::fputs("\x1b[2J\x1b[H", stdout);
+    std::fputs(top::render_frame(frame, options).c_str(), stdout);
+    std::fflush(stdout);
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string replay_dir;
+  std::string prefix;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  bool once = false;
+  int interval_ms = 1000;
+  top::TopOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--replay") {
+      if (const char* v = value()) replay_dir = v; else return usage();
+    } else if (arg == "--prefix") {
+      if (const char* v = value()) prefix = v; else return usage();
+    } else if (arg == "--connect") {
+      if (const char* v = value()) port = std::atoi(v); else return usage();
+    } else if (arg == "--host") {
+      if (const char* v = value()) host = v; else return usage();
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval-ms") {
+      if (const char* v = value()) interval_ms = std::atoi(v);
+      else return usage();
+    } else if (arg == "--ledger-tail") {
+      if (const char* v = value())
+        options.ledger_tail = static_cast<std::size_t>(std::atoi(v));
+      else return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  if (!replay_dir.empty()) return run_replay(replay_dir, prefix, options);
+  if (port > 0 && port <= 65535)
+    return run_connect(host, static_cast<std::uint16_t>(port), once,
+                       interval_ms, options);
+  return usage();
+}

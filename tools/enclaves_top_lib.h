@@ -1,0 +1,164 @@
+// Rendering core of enclaves_top (tools/enclaves_top.cpp): turns a metrics
+// snapshot + health verdict + rate series + ledger tail into the text
+// dashboard, as pure functions over an explicit TopFrame.
+//
+// Header-only and filesystem/socket-free for the same reason as
+// bench_diff_lib.h: the golden test renders exactly what the binary renders.
+// The CLI owns the two ways of *filling* a frame that need I/O (polling
+// /metrics, tailing dump files); frame_from_replay() lives here because it
+// is pure too — it takes the dump file *contents*, not paths.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace enclaves::top {
+
+struct TopOptions {
+  std::size_t spark_width = 24;   // max points drawn per sparkline
+  std::size_t ledger_tail = 6;    // ledger lines kept in the frame
+  obs::HealthConfig health;       // used by frame_from_replay's monitor
+};
+
+/// Everything one dashboard refresh renders. Poll mode fills this from an
+/// Aggregator + HealthMonitor it drives itself; replay mode from dump files.
+struct TopFrame {
+  Tick tick = 0;
+  obs::HealthVerdict verdict;
+  obs::MetricsSnapshot snapshot;
+  /// Display label -> per-sample deltas, oldest first (sparkline feed).
+  std::map<std::string, std::vector<std::uint64_t>> rates;
+  std::vector<std::string> ledger_tail;  // newest last, pre-rendered lines
+};
+
+/// Unicode block-element sparkline of `xs` (oldest first), at most `width`
+/// points (newest kept). All-zero input renders all-low, empty input "".
+inline std::string sparkline(const std::vector<std::uint64_t>& xs,
+                             std::size_t width) {
+  static constexpr std::string_view kBlocks[] = {"▁", "▂", "▃", "▄",
+                                                 "▅", "▆", "▇", "█"};
+  if (xs.empty() || width == 0) return "";
+  const std::size_t start = xs.size() > width ? xs.size() - width : 0;
+  std::uint64_t max = 0;
+  for (std::size_t i = start; i < xs.size(); ++i) max = std::max(max, xs[i]);
+  std::string out;
+  for (std::size_t i = start; i < xs.size(); ++i) {
+    const std::size_t level =
+        max == 0 ? 0 : static_cast<std::size_t>((xs[i] * 7) / max);
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+namespace top_detail {
+
+inline std::string pad(std::string_view s, std::size_t width) {
+  std::string out(s);
+  while (out.size() < width) out += ' ';
+  return out;
+}
+
+inline std::uint64_t counter_at(const obs::MetricsSnapshot& snap,
+                                std::string_view group,
+                                std::string_view agent,
+                                std::string_view name) {
+  auto it = snap.counters.find(obs::MetricKey{
+      std::string(group), std::string(agent), std::string(name)});
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+}  // namespace top_detail
+
+/// The dashboard: overall banner, per-group tables (state, per-peer window
+/// evidence, cumulative suspicion), rate sparklines, ledger tail. Pure and
+/// deterministic — golden-tested byte-for-byte.
+inline std::string render_frame(const TopFrame& frame,
+                                const TopOptions& options = {}) {
+  using top_detail::pad;
+  std::string out;
+  out += "enclaves_top — tick " + std::to_string(frame.tick) + " (" +
+         std::to_string(frame.verdict.windows) + " window(s))  overall: " +
+         std::string(obs::health_state_name(frame.verdict.worst())) + "\n";
+
+  for (const auto& [group, gh] : frame.verdict.groups) {
+    out += "\ngroup " + group + ": " +
+           std::string(obs::health_state_name(gh.state));
+    if (!gh.why.empty()) out += " — " + gh.why;
+    out += "\n";
+    out += "  " + pad("peer", 8) + pad("state", 14) + pad("susp", 6) +
+           pad("rt/ref/susp/part", 18) + "why\n";
+    for (const auto& [peer, ph] : gh.peers) {
+      const std::string window = std::to_string(ph.window_retransmits) + "/" +
+                                 std::to_string(ph.window_refusals) + "/" +
+                                 std::to_string(ph.window_suspicion) + "/" +
+                                 std::to_string(ph.window_partition_signals);
+      out += "  " + pad(peer, 8) + pad(obs::health_state_name(ph.state), 14) +
+             pad(std::to_string(ph.suspicion), 6);
+      out += ph.why.empty() ? window : pad(window, 18) + ph.why;
+      out += "\n";
+    }
+  }
+
+  if (!frame.rates.empty()) {
+    out += "\nrates (per sample):\n";
+    for (const auto& [label, xs] : frame.rates) {
+      std::uint64_t total = 0;
+      for (std::uint64_t x : xs) total += x;
+      out += "  " + pad(label, 16) + sparkline(xs, options.spark_width) +
+             "  (+" + std::to_string(total) + ")\n";
+    }
+  }
+
+  if (!frame.ledger_tail.empty()) {
+    out += "\nledger tail:\n";
+    for (const std::string& line : frame.ledger_tail)
+      out += "  " + line + "\n";
+  }
+  return out;
+}
+
+/// Builds a frame from dumped artifacts (ENCLAVES_OBS_OUT_DIR contents):
+/// `metrics_json` is a MetricsSnapshot::to_json() body, `ledger_jsonl` a
+/// SecurityLedger::to_jsonl() body (may be empty). The whole run becomes a
+/// single health window — cumulative totals judged against the thresholds,
+/// which is the honest reading of an after-the-fact dump.
+inline Result<TopFrame> frame_from_replay(std::string_view metrics_json,
+                                          std::string_view ledger_jsonl,
+                                          const TopOptions& options = {}) {
+  auto snapshot = obs::MetricsSnapshot::from_json(metrics_json);
+  if (!snapshot) return snapshot.error();
+
+  TopFrame frame;
+  frame.snapshot = *snapshot;
+
+  obs::HealthMonitor monitor(options.health);
+  monitor.observe(options.health.window, frame.snapshot);
+  frame.tick = options.health.window;
+  frame.verdict = monitor.verdict();
+
+  for (std::size_t pos = 0; pos < ledger_jsonl.size();) {
+    std::size_t eol = ledger_jsonl.find('\n', pos);
+    if (eol == std::string_view::npos) eol = ledger_jsonl.size();
+    if (eol > pos)
+      frame.ledger_tail.emplace_back(ledger_jsonl.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  if (frame.ledger_tail.size() > options.ledger_tail) {
+    frame.ledger_tail.erase(
+        frame.ledger_tail.begin(),
+        frame.ledger_tail.end() - static_cast<std::ptrdiff_t>(
+                                      options.ledger_tail));
+  }
+  return frame;
+}
+
+}  // namespace enclaves::top
