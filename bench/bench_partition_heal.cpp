@@ -1,0 +1,171 @@
+// Costs of partition tolerance (PROTOCOL.md §12): per-op HMAC chain
+// extension on the member's offline queue, leader-side chain validation
+// during replay, and the full partition -> queue -> expel -> heal -> replay
+// -> fast-rejoin cycle in virtual ticks.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/leader.h"
+#include "core/member.h"
+#include "core/oplog.h"
+#include "net/fault.h"
+#include "net/sim_network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace enclaves;
+
+// Member-side queueing tax: one append = one HMAC chain link over
+// (prev MAC, seq, epoch, payload). Arg = payload bytes.
+void BM_OpLogAppend(benchmark::State& state) {
+  DeterministicRng rng(41);
+  const auto kr = crypto::SessionKey::random(rng);
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5A);
+  core::OpLog log(kr);
+  for (auto _ : state) {
+    if (log.size() == core::OpLog::kMaxEntries) {
+      state.PauseTiming();
+      log.clear();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(log.append(7, payload).ok());
+  }
+  benchmark::DoNotOptimize(log.head());
+}
+BENCHMARK(BM_OpLogAppend)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Leader-side validation tax: walking a replayed chain of N ops and
+// recomputing every link (what handle_op_replay pays across a whole
+// replay, without the sealing/transport around it).
+void BM_OpReplayValidate(benchmark::State& state) {
+  DeterministicRng rng(42);
+  const auto kr = crypto::SessionKey::random(rng);
+  core::OpLog log(kr);
+  const Bytes payload(256, 0x3C);
+  for (std::int64_t i = 0; i < state.range(0); ++i)
+    (void)log.append(7, payload);
+
+  for (auto _ : state) {
+    crypto::HmacSha256::Tag chain{};
+    bool ok = true;
+    for (const auto& entry : log.entries()) {
+      chain = core::OpLog::chain_next(kr.view(), chain, entry.seq,
+                                      entry.epoch, entry.payload);
+      ok &= chain == entry.mac;
+    }
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(chain);
+  }
+  state.counters["ops"] = static_cast<double>(log.size());
+}
+BENCHMARK(BM_OpReplayValidate)->Arg(8)->Arg(64)->Arg(256);
+
+// Leader + witness + one partition victim over a lossless SimNetwork with a
+// manually driven FaultInjector, mirroring tests/reconcile_test.cpp.
+struct HealWorld {
+  explicit HealWorld(std::uint64_t seed)
+      : rng(seed), injector({}, seed ^ 0xBE9C) {
+    net.set_tap(injector.tap());
+    core::LeaderConfig c{"L", core::RekeyPolicy::strict()};
+    c.parole_epochs = 4;
+    c.auto_expel_attempts = 3;
+    leader = std::make_unique<core::Leader>(c, rng);
+    leader->set_send(sender());
+    net.attach("L", [this](const wire::Envelope& e) { leader->handle(e); });
+    for (const char* id : {"victim", "witness"}) {
+      auto pa = crypto::LongTermKey::random(rng);
+      (void)leader->register_member(id, pa);
+      auto m = std::make_unique<core::Member>(id, "L", pa, rng);
+      m->set_send(sender());
+      m->set_suspect_after(3);
+      m->enable_reconciliation(core::RetryPolicy::every_tick());
+      auto* raw = m.get();
+      net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+      members[id] = std::move(m);
+    }
+  }
+
+  core::SendFn sender() {
+    return [this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    };
+  }
+
+  void step() {
+    for (auto& [id, m] : members) m->tick();
+    leader->tick();
+    net.run();
+  }
+
+  // Joins both members, cuts the victim off, queues `ops` offline sends and
+  // waits for the expel-onto-parole. Returns false on a setup stall.
+  bool setup(int ops) {
+    for (auto& [id, m] : members) {
+      if (!m->join().ok()) return false;
+      net.run();
+    }
+    injector.partition({"victim"});
+    auto& victim = *members["victim"];
+    for (int i = 0; i < 50 && !victim.disconnected(); ++i) step();
+    if (!victim.disconnected()) return false;
+    const Bytes payload(64, 0x7E);
+    for (int i = 0; i < ops; ++i)
+      if (!victim.send_data(payload).ok()) return false;
+    leader->probe_liveness();
+    net.run();
+    for (int i = 0; i < 50 && leader->is_member("victim"); ++i) step();
+    return leader->on_parole("victim");
+  }
+
+  // Ticks from heal to the victim's fast rejoin; returns virtual steps.
+  std::uint64_t heal_and_settle() {
+    injector.heal();
+    auto& victim = *members["victim"];
+    std::uint64_t steps = 0;
+    while (steps < 2'000 &&
+           !(victim.connected() && !victim.disconnected())) {
+      step();
+      ++steps;
+    }
+    return steps;
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  net::FaultInjector injector;
+  std::unique_ptr<core::Leader> leader;
+  std::map<std::string, std::unique_ptr<core::Member>> members;
+};
+
+// The whole heal: offer, admit, stop-and-wait replay of N queued ops,
+// verdict, fast rejoin under the current key. steps_to_heal is the
+// deterministic tick count from the moment the link returns.
+void BM_PartitionHealCycle(benchmark::State& state) {
+  std::uint64_t seed = 500, total_steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    HealWorld w(seed++);
+    const bool ready = w.setup(static_cast<int>(state.range(0)));
+    state.ResumeTiming();
+    if (!ready) {
+      state.SkipWithError("heal setup stalled");
+      break;
+    }
+    const std::uint64_t steps = w.heal_and_settle();
+    total_steps += steps;
+    benchmark::DoNotOptimize(steps);
+  }
+  state.counters["steps_to_heal"] = benchmark::Counter(
+      static_cast<double>(total_steps), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PartitionHealCycle)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+#include "bench_json.h"
+
+ENCLAVES_BENCH_JSON_MAIN("partition_heal")

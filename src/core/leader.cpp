@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/oplog.h"
 #include "obs/metrics.h"
 #include "obs/security.h"
 #include "obs/trace.h"
@@ -46,6 +47,14 @@ void Leader::send(const std::string& to, wire::Envelope e) {
 void Leader::handle(const wire::Envelope& e) {
   if (e.label == wire::Label::GroupData) {
     handle_group_data(e);
+    return;
+  }
+  if (e.label == wire::Label::ReconcileOffer) {
+    handle_reconcile_offer(e);
+    return;
+  }
+  if (e.label == wire::Label::OpReplay) {
+    handle_op_replay(e);
     return;
   }
 
@@ -165,9 +174,25 @@ void Leader::handle_member_authenticated(const std::string& member_id) {
   obs::trace(clock_.now(), obs::TraceKind::join, config_.id, config_.id,
              member_id);
 
+  // Fast rejoin after a completed reconciliation (PROTOCOL.md §12): the
+  // member proved continuity of its session key and op-log chain, so it
+  // receives the CURRENT group key without forcing a group-wide rekey —
+  // a healed partition must not translate into a rekey storm. Any other
+  // successful authentication supersedes (and clears) a standing parole.
+  const bool fast = reconciling_.erase(member_id) > 0 && kg_initialized_;
+  if (parole_.erase(member_id) > 0) {
+    obs::gauge_set(config_.id, config_.id, "parole_members",
+                   static_cast<std::int64_t>(parole_.size()));
+  }
+  if (fast) {
+    obs::count(config_.id, config_.id, "reconcile_fast_rejoins_total");
+    obs::trace(clock_.now(), obs::TraceKind::rejoin, config_.id, config_.id,
+               member_id, "reconciled");
+  }
+
   // Initialize or renew the group key. Section 2.2: "The group leader
   // generates a first group key Kg when the first member is accepted."
-  if (!kg_initialized_ || config_.rekey.on_join) {
+  if (!kg_initialized_ || (config_.rekey.on_join && !fast)) {
     rekey();  // distributes to everyone, including the new member
   } else {
     send_group_key_to(member_id);
@@ -258,6 +283,27 @@ void Leader::rekey() {
              {}, epoch_);
   if (on_rekey) on_rekey(epoch_);
   for (const auto& m : members_) send_group_key_to(m);
+
+  // Parole GC: the admission window is `parole_epochs` rekeys, but entries
+  // are retained for twice that, so a late offer still earns an explicit
+  // quarantine verdict (sealed under the retained Kr) that steers the member
+  // straight to the standard rejoin path instead of leaving it to burn its
+  // whole reconcile budget unanswered. Beyond 2x the window the entry
+  // vanishes and late offers are silently refused. Epoch distance is the
+  // natural clock here — parole is defined in rekeys, not ticks.
+  if (!parole_.empty()) {
+    for (auto it = parole_.begin(); it != parole_.end();) {
+      if (epoch_ - it->second.fence_epoch > 2 * config_.parole_epochs) {
+        obs::count(config_.id, config_.id, "parole_expired_total");
+        reconciling_.erase(it->first);
+        it = parole_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    obs::gauge_set(config_.id, config_.id, "parole_members",
+                   static_cast<std::int64_t>(parole_.size()));
+  }
 }
 
 void Leader::broadcast_notice(const std::string& text) {
@@ -282,6 +328,13 @@ Result<crypto::SessionKey> Leader::expel(const std::string& member_id,
     obs::count(config_.id, config_.id, "exchanges_abandoned_total");
   auto old_key = it->second->force_close();
   assert(old_key.has_value());
+  // A liveness ("stalled") expulsion is reconcilable — the member may heal
+  // via op-log replay, so retain Kr on parole. Any other reason is for
+  // cause: punitive, and standing parole is revoked too.
+  if (config_.parole_epochs > 0 && reason == "stalled" && old_key)
+    grant_parole(member_id, *old_key);
+  else
+    revoke_parole(member_id);
   audit_.record(AuditKind::member_expelled, member_id, reason);
   obs::count(config_.id, config_.id, "expulsions_total");
   obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
@@ -320,6 +373,249 @@ void Leader::shutdown_group(const std::string& reason) {
   }
   members_.clear();
   obs::gauge_set(config_.id, config_.id, "members", 0);
+  // No group left to reconcile into.
+  parole_.clear();
+  reconciling_.clear();
+  obs::gauge_set(config_.id, config_.id, "parole_members", 0);
+}
+
+void Leader::grant_parole(const std::string& member_id,
+                          crypto::SessionKey kr) {
+  Parole p;
+  p.kr = kr;
+  p.fence_epoch = epoch_;
+  parole_[member_id] = std::move(p);
+  obs::count(config_.id, config_.id, "parole_granted_total");
+  obs::gauge_set(config_.id, config_.id, "parole_members",
+                 static_cast<std::int64_t>(parole_.size()));
+}
+
+void Leader::revoke_parole(const std::string& member_id) {
+  reconciling_.erase(member_id);
+  if (parole_.erase(member_id) > 0) {
+    obs::gauge_set(config_.id, config_.id, "parole_members",
+                   static_cast<std::int64_t>(parole_.size()));
+  }
+}
+
+void Leader::send_reconcile_verdict(const std::string& member_id,
+                                    Parole& parole,
+                                    wire::ReconcileVerdictKind verdict,
+                                    std::uint64_t ack_seq) {
+  wire::ReconcileVerdictPayload body{config_.id, member_id, parole.nr,
+                                     verdict,    epoch_,    ack_seq};
+  auto env =
+      wire::make_sealed(aead_, parole.kr.view(), rng_,
+                        wire::Label::ReconcileVerdict, config_.id, member_id,
+                        wire::encode(body));
+  parole.last_verdict = env;
+  obs::trace(clock_.now(), obs::TraceKind::reconcile_verdict, config_.id,
+             config_.id, member_id,
+             wire::reconcile_verdict_kind_name(verdict), ack_seq);
+  send(member_id, std::move(env));
+}
+
+void Leader::handle_reconcile_offer(const wire::Envelope& e) {
+  auto reject = [this, &e](obs::EvidenceKind kind, const char* why) {
+    audit_.record(AuditKind::auth_reject, e.sender, why);
+    obs::count(config_.id, config_.id, "auth_rejects_total");
+    obs::security_event(clock_.now(), kind, config_.id, config_.id, e.sender,
+                        why);
+  };
+  auto it = parole_.find(e.sender);
+  if (config_.parole_epochs == 0 || it == parole_.end()) {
+    // Silent, like a denied join: there is no authenticated channel to
+    // carry a refusal, and an unauthenticated one would be forgeable.
+    reject(obs::EvidenceKind::bad_label, "reconcile offer without parole");
+    return;
+  }
+  Parole& parole = it->second;
+  auto plain = wire::open_sealed(aead_, parole.kr.view(), e);
+  if (!plain) {
+    reject(obs::EvidenceKind::aead_open_failure,
+           "offer does not open under parole Kr");
+    return;
+  }
+  auto p = wire::decode_reconcile_offer(*plain);
+  if (!p) {
+    reject(obs::EvidenceKind::malformed, "malformed reconcile offer");
+    return;
+  }
+  if (p->a != e.sender || p->l != config_.id) {
+    reject(obs::EvidenceKind::identity_mismatch,
+           "reconcile offer identity mismatch");
+    return;
+  }
+  if (parole.last_verdict && p->nr == parole.nr) {
+    // Retransmitted offer (our verdict was lost): re-answer byte-identically.
+    obs::count(config_.id, config_.id, "reanswers_total");
+    obs::trace(clock_.now(), obs::TraceKind::reanswer, config_.id, config_.id,
+               e.sender, "ReconcileOffer");
+    send(e.sender, *parole.last_verdict);
+    return;
+  }
+
+  obs::count(config_.id, config_.id, "reconcile_offers_total");
+  parole.nr = p->nr;
+  parole.active = false;
+
+  // Stale fence — outside the parole window, or claiming an epoch the
+  // member cannot have held — and oversized logs take the quarantine path:
+  // the member falls back to a standard rejoin under a fresh key. Only a
+  // broken HMAC chain (seen during replay) is treated as intrusion.
+  if (p->fence_epoch > parole.fence_epoch ||
+      epoch_ - p->fence_epoch > config_.parole_epochs) {
+    obs::count(config_.id, config_.id, "reconcile_quarantines_total");
+    obs::security_event(clock_.now(), obs::EvidenceKind::stale_epoch,
+                        config_.id, config_.id, e.sender,
+                        "reconcile fence outside parole window",
+                        p->fence_epoch);
+    obs::trace(clock_.now(), obs::TraceKind::reconcile_offer, config_.id,
+               config_.id, e.sender, "quarantine", p->oplog_len);
+    send_reconcile_verdict(e.sender, parole,
+                           wire::ReconcileVerdictKind::quarantine, 0);
+    return;
+  }
+  if (p->oplog_len > config_.max_replay_ops) {
+    obs::count(config_.id, config_.id, "reconcile_quarantines_total");
+    obs::security_event(clock_.now(), obs::EvidenceKind::stale_epoch,
+                        config_.id, config_.id, e.sender,
+                        "op-log exceeds replay budget", p->oplog_len);
+    obs::trace(clock_.now(), obs::TraceKind::reconcile_offer, config_.id,
+               config_.id, e.sender, "quarantine", p->oplog_len);
+    send_reconcile_verdict(e.sender, parole,
+                           wire::ReconcileVerdictKind::quarantine, 0);
+    return;
+  }
+
+  // Admit: arm the replay validator. The chain starts from the all-zero
+  // tag, exactly as OpLog does on the member side.
+  parole.fence_epoch = p->fence_epoch;
+  parole.expected_seq = 1;
+  parole.oplog_len = p->oplog_len;
+  parole.chain = {};
+  parole.offered_head = p->chain_head;
+  obs::count(config_.id, config_.id, "reconcile_admits_total");
+  obs::trace(clock_.now(), obs::TraceKind::reconcile_offer, config_.id,
+             config_.id, e.sender, "admit", p->oplog_len);
+  // Relay seq-collision guard: if the epoch never moved since the member
+  // was cut, its pre-partition publishes already used low seqs in this
+  // epoch — relaying the replay from seq 0 would look like replays to the
+  // group. One rekey opens a clean sequence space.
+  if (epoch_ == parole.fence_epoch) rekey();
+  if (p->oplog_len == 0) {
+    reconciling_.insert(e.sender);
+  } else {
+    parole.active = true;
+  }
+  send_reconcile_verdict(e.sender, parole, wire::ReconcileVerdictKind::admit,
+                         0);
+}
+
+void Leader::handle_op_replay(const wire::Envelope& e) {
+  auto reject = [this, &e](obs::EvidenceKind kind, const char* why) {
+    audit_.record(AuditKind::auth_reject, e.sender, why);
+    obs::count(config_.id, config_.id, "auth_rejects_total");
+    obs::security_event(clock_.now(), kind, config_.id, config_.id, e.sender,
+                        why);
+  };
+  auto it = parole_.find(e.sender);
+  if (it == parole_.end()) {
+    reject(obs::EvidenceKind::bad_label,
+           "op replay without active reconciliation");
+    return;
+  }
+  Parole& parole = it->second;
+  auto plain = wire::open_sealed(aead_, parole.kr.view(), e);
+  if (!plain) {
+    reject(obs::EvidenceKind::aead_open_failure,
+           "op does not open under parole Kr");
+    return;
+  }
+  auto p = wire::decode_op_replay(*plain);
+  if (!p) {
+    reject(obs::EvidenceKind::malformed, "malformed op replay");
+    return;
+  }
+  if (p->a != e.sender) {
+    reject(obs::EvidenceKind::identity_mismatch, "op replay origin mismatch");
+    return;
+  }
+  if (p->seq < parole.expected_seq) {
+    // An op we already verified (our verdict was lost): re-answer. This must
+    // come BEFORE the active check — when the FINAL op's verdict is lost the
+    // replay has already completed (active is false), yet the member keeps
+    // retransmitting that op until the ack arrives.
+    obs::count(config_.id, config_.id, "reanswers_total");
+    obs::trace(clock_.now(), obs::TraceKind::reanswer, config_.id, config_.id,
+               e.sender, "OpReplay");
+    if (parole.last_verdict) send(e.sender, *parole.last_verdict);
+    return;
+  }
+  if (!parole.active) {
+    reject(obs::EvidenceKind::bad_label,
+           "op replay without active reconciliation");
+    return;
+  }
+
+  // Anything beyond this point that fails is not staleness but forgery: the
+  // frame opened under Kr yet contradicts the HMAC chain the offer
+  // committed to. Evidence goes to the ledger and the replay is refused.
+  auto flag_intrusion = [this, &e, &parole](const char* why,
+                                            std::uint64_t seq) {
+    audit_.record(AuditKind::auth_reject, e.sender, why);
+    obs::count(config_.id, config_.id, "reconcile_intrusions_total");
+    obs::security_event(clock_.now(), obs::EvidenceKind::forged_oplog,
+                        config_.id, config_.id, e.sender, why, seq);
+    parole.active = false;
+    send_reconcile_verdict(e.sender, parole,
+                           wire::ReconcileVerdictKind::intrusion,
+                           parole.expected_seq - 1);
+  };
+  if (p->seq != parole.expected_seq) {
+    flag_intrusion("op seq skips ahead of the verified chain", p->seq);
+    return;
+  }
+  if (p->epoch != parole.fence_epoch) {
+    flag_intrusion("op epoch differs from the offered fence", p->seq);
+    return;
+  }
+  const auto want =
+      OpLog::chain_next(parole.kr.view(), parole.chain, p->seq, p->epoch,
+                        p->payload);
+  if (want != p->mac) {
+    flag_intrusion("op MAC breaks the HMAC chain", p->seq);
+    return;
+  }
+  if (p->seq == parole.oplog_len && want != parole.offered_head) {
+    flag_intrusion("final op does not close the offered head", p->seq);
+    return;
+  }
+
+  // Verified: advance the chain, deliver locally, relay to the live group.
+  parole.chain = want;
+  parole.expected_seq = p->seq + 1;
+  obs::count(config_.id, config_.id, "reconcile_ops_replayed_total");
+  obs::trace(clock_.now(), obs::TraceKind::op_replay, config_.id, config_.id,
+             e.sender, {}, p->seq);
+  if (on_data) on_data(e.sender, p->payload);
+  if (kg_initialized_ && !members_.empty()) {
+    wire::GroupDataPayload relay{e.sender, epoch_, p->seq - 1, p->payload};
+    auto env = wire::make_sealed(aead_, kg_.view(), rng_,
+                                 wire::Label::GroupData, e.sender,
+                                 wire::kGroupRecipient, wire::encode(relay));
+    for (const auto& m : members_) send(m, env);
+  }
+  ++relayed_;
+  obs::count(config_.id, config_.id, "relayed_total");
+
+  const bool complete = p->seq == parole.oplog_len;
+  if (complete) {
+    parole.active = false;
+    reconciling_.insert(e.sender);
+  }
+  send_reconcile_verdict(e.sender, parole, wire::ReconcileVerdictKind::admit,
+                         p->seq);
 }
 
 std::vector<std::string> Leader::members() const {
@@ -392,7 +688,13 @@ std::vector<std::string> Leader::expel_stalled(std::uint32_t attempts) {
       obs::trace(clock_.now(), obs::TraceKind::expel, config_.id, config_.id,
                  id, "stalled");
       if (on_member_expelled) on_member_expelled(id, "stalled");
-      (void)it->second->force_close();
+      auto old_key = it->second->force_close();
+      // A liveness expulsion is reconcilable: retain Kr on parole so the
+      // member can heal via the signed op-log instead of a full re-key.
+      // Grant before handle_member_closed so the fence records the epoch
+      // the member last held (the on-leave rekey happens below).
+      if (config_.parole_epochs > 0 && old_key)
+        grant_parole(id, *old_key);
       handle_member_closed(id);
     } else {
       // Ghost handshake (never authenticated): discard quietly. The key

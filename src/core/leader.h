@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,10 +27,12 @@
 #include "core/rekey_policy.h"
 #include "core/retry.h"
 #include "crypto/aead.h"
+#include "crypto/hmac.h"
 #include "crypto/keys.h"
 #include "util/clock.h"
 #include "util/result.h"
 #include "wire/envelope.h"
+#include "wire/reconcile.h"
 
 namespace enclaves::core {
 
@@ -47,6 +50,20 @@ struct LeaderConfig {
   /// an answer (suspect -> retransmit with backoff -> expel). 0 = manual
   /// expulsion via expel_stalled() only.
   std::uint32_t auto_expel_attempts = 0;
+  /// Partition tolerance (PROTOCOL.md §12): when > 0, a member expelled for
+  /// *stalling* (liveness, not cause) stays on "parole" — its discarded
+  /// session key Kr and the epoch at expulsion are retained so the member
+  /// can later offer its signed offline op-log for reconciliation. An offer
+  /// whose epoch fence has fallen more than `parole_epochs` rekeys behind
+  /// the current epoch is quarantined (standard rejoin required). Parole
+  /// entries are garbage-collected at each rekey once they fall 2x the
+  /// window behind — kept past the admission window so a late offer still
+  /// gets an explicit quarantine verdict rather than silence.
+  /// 0 disables parole entirely (the historical behaviour).
+  std::uint64_t parole_epochs = 0;
+  /// Upper bound on ops accepted in a single reconciliation replay; longer
+  /// offers are quarantined rather than replayed.
+  std::uint64_t max_replay_ops = 256;
 };
 
 class Leader {
@@ -198,6 +215,12 @@ class Leader {
   std::function<void(const std::string&, const std::string&)>
       on_member_expelled;
 
+  /// Members currently on parole (expelled-but-reconcilable).
+  std::size_t parole_count() const { return parole_.size(); }
+  bool on_parole(const std::string& member_id) const {
+    return parole_.count(member_id) > 0;
+  }
+
  private:
   void send(const std::string& to, wire::Envelope e);
   void submit_admin_to(const std::string& member_id, wire::AdminBody body);
@@ -205,6 +228,14 @@ class Leader {
   void handle_member_closed(const std::string& member_id);
   void handle_group_data(const wire::Envelope& e);
   void send_group_key_to(const std::string& member_id);
+  void handle_reconcile_offer(const wire::Envelope& e);
+  void handle_op_replay(const wire::Envelope& e);
+  struct Parole;
+  void send_reconcile_verdict(const std::string& member_id, Parole& parole,
+                              wire::ReconcileVerdictKind verdict,
+                              std::uint64_t ack_seq);
+  void grant_parole(const std::string& member_id, crypto::SessionKey kr);
+  void revoke_parole(const std::string& member_id);
 
   LeaderConfig config_;
   Rng& rng_;
@@ -224,6 +255,24 @@ class Leader {
 
   std::shared_ptr<const AccessPolicy> policy_;
   AuditLog audit_;
+
+  // Parole list (PROTOCOL.md §12): per expelled-but-reconcilable member,
+  // the retained session key Kr plus the verification state of an in-flight
+  // op-log replay. `chain` walks the member's HMAC chain op by op; any
+  // mismatch is proof of forgery, not mere staleness.
+  struct Parole {
+    crypto::SessionKey kr;           // session key held at expulsion
+    std::uint64_t fence_epoch = 0;   // epoch when the member was cut off
+    crypto::ProtocolNonce nr;        // nonce of the last answered offer
+    bool active = false;             // replay admitted and in progress
+    std::uint64_t expected_seq = 0;  // next op seq the replay must present
+    std::uint64_t oplog_len = 0;     // length the accepted offer declared
+    crypto::HmacSha256::Tag chain{};         // chain state verified so far
+    crypto::HmacSha256::Tag offered_head{};  // head MAC the offer declared
+    std::optional<wire::Envelope> last_verdict;  // re-answer cache
+  };
+  std::map<std::string, Parole> parole_;
+  std::set<std::string> reconciling_;  // replay done; fast rejoin armed
 
   // Liveness layer: per-session retry bookkeeping on one virtual clock.
   // The RetryState backs off per config_.retry while the SAME envelope

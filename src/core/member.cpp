@@ -5,6 +5,7 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "wire/payloads.h"
+#include "wire/reconcile.h"
 #include "wire/seal.h"
 
 namespace enclaves::core {
@@ -63,6 +64,18 @@ void Member::drop_group_state() {
 }
 
 Status Member::send_data(BytesView payload) {
+  if (disconnected_mode_) {
+    if (replay_active_)
+      return make_error(Errc::unexpected, "reconciliation replay in progress");
+    if (auto s = oplog_.append(fence_epoch_, payload); !s) return s;
+    obs::count(leader_id_, id_, "oplog_enqueued_total");
+    obs::gauge_set(leader_id_, id_, "oplog_depth",
+                   static_cast<std::int64_t>(oplog_.size()));
+    obs::trace(clock_.now(), obs::TraceKind::oplog_append, leader_id_, id_,
+               leader_id_, {}, oplog_.size());
+    reconcile_env_.reset();  // the cached offer no longer covers the log
+    return Status::success();
+  }
   if (!connected()) return make_error(Errc::unexpected, "not connected");
   if (!have_kg_) return make_error(Errc::unexpected, "no group key yet");
 
@@ -77,6 +90,10 @@ Status Member::send_data(BytesView payload) {
 void Member::handle(const wire::Envelope& e) {
   if (e.label == wire::Label::GroupData) {
     handle_group_data(e);
+    return;
+  }
+  if (e.label == wire::Label::ReconcileVerdict) {
+    handle_reconcile_verdict(e);
     return;
   }
 
@@ -173,6 +190,14 @@ bool Member::apply_admin(const wire::AdminBody& body) {
           // New epoch: sequence space restarts for everyone.
           last_seq_.clear();
           next_seq_ = 0;
+          if (pending_replayed_ > 0) {
+            // Fast rejoin after an admitted reconciliation: the leader
+            // already relayed our replayed ops under the verdict epoch with
+            // seqs 0..n-1, so the outbound counter must resume past them or
+            // the group would reject our next publish as a replay.
+            if (b.epoch == verdict_epoch_) next_seq_ = pending_replayed_;
+            pending_replayed_ = 0;
+          }
           obs::count(leader_id_, id_, "rekeys_applied_total");
           obs::trace(clock_.now(), obs::TraceKind::rekey, leader_id_, id_,
                      leader_id_, {}, epoch_);
@@ -189,6 +214,20 @@ bool Member::apply_admin(const wire::AdminBody& body) {
         } else if constexpr (std::is_same_v<T, wire::Notice>) {
           // surfaced via the AdminAccepted event only
         } else if constexpr (std::is_same_v<T, wire::Expelled>) {
+          obs::count(leader_id_, id_, "expelled_total");
+          obs::trace(clock_.now(), obs::TraceKind::leave, leader_id_, id_,
+                     leader_id_, "expelled");
+          if (reconcile_enabled_ && have_kg_ && b.reason == "stalled") {
+            // A liveness eviction (the leader merely lost contact) with
+            // reconciliation enabled is a partition signal, not a
+            // punishment: keep Kg/epoch/view and enter disconnected mode
+            // instead of dropping group state. For-cause expulsions (any
+            // other reason) still take the unconditional drop below.
+            enter_disconnected("expelled");
+            emit(SessionClosed{"expelled: " + b.reason +
+                               " (disconnected mode)"});
+            return true;
+          }
           // Authenticated eviction: the leader has already discarded our
           // session; drop all local group state.
           session_.close_local();
@@ -197,9 +236,6 @@ bool Member::apply_admin(const wire::AdminBody& body) {
           // back with a fresh handshake (fresh Ka — the old one is gone).
           if (auto_rejoin_ && want_membership_)
             rejoin_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x4E30);
-          obs::count(leader_id_, id_, "expelled_total");
-          obs::trace(clock_.now(), obs::TraceKind::leave, leader_id_, id_,
-                     leader_id_, "expelled");
           emit(SessionClosed{"expelled: " + b.reason});
         }
         return true;
@@ -251,6 +287,146 @@ void Member::handle_group_data(const wire::Envelope& e) {
                payload->origin, detail, payload->seq);
   }
   emit(DataReceived{payload->origin, payload->payload});
+}
+
+void Member::enter_disconnected(const std::string& reason) {
+  // Snapshot Kr *before* tearing the session down: it is the credential the
+  // leader's parole entry for us keeps, and the only key reconcile traffic
+  // can be sealed under.
+  kr_ = session_.session_key();
+  session_.close_local();
+  disconnected_mode_ = true;
+  fence_epoch_ = epoch_;
+  oplog_ = OpLog(kr_);
+  replay_active_ = false;
+  replay_acked_ = 0;
+  replay_sent_ = 0;
+  verdict_epoch_ = 0;
+  pending_replayed_ = 0;
+  join_retry_.disarm();
+  rejoin_retry_.disarm();
+  reconcile_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x0F7E);
+  obs::count(leader_id_, id_, "disconnects_total");
+  obs::gauge_set(leader_id_, id_, "oplog_depth", 0);
+  obs::trace(clock_.now(), obs::TraceKind::disconnect, leader_id_, id_,
+             leader_id_, reason);
+  build_reconcile_offer();  // sealed now, sent from tick()
+}
+
+void Member::build_reconcile_offer() {
+  reconcile_nonce_ = crypto::ProtocolNonce::random(rng_);
+  wire::ReconcileOfferPayload body{id_,          leader_id_,
+                                   reconcile_nonce_, fence_epoch_,
+                                   oplog_.size(),    oplog_.head()};
+  reconcile_env_ =
+      wire::make_sealed(aead_, kr_.view(), rng_, wire::Label::ReconcileOffer,
+                        id_, leader_id_, wire::encode(body));
+  offer_len_ = oplog_.size();
+  obs::count(leader_id_, id_, "reconcile_offers_total");
+  obs::trace(clock_.now(), obs::TraceKind::reconcile_offer, leader_id_, id_,
+             leader_id_, {}, oplog_.size());
+}
+
+void Member::send_next_op() {
+  const std::uint64_t seq = replay_acked_ + 1;
+  const OpLog::Entry& op = oplog_.entries()[seq - 1];
+  wire::OpReplayPayload body{id_, op.seq, op.epoch, op.mac, op.payload};
+  reconcile_env_ =
+      wire::make_sealed(aead_, kr_.view(), rng_, wire::Label::OpReplay, id_,
+                        leader_id_, wire::encode(body));
+  replay_sent_ = seq;
+  obs::count(leader_id_, id_, "reconcile_ops_replayed_total");
+  obs::trace(clock_.now(), obs::TraceKind::op_replay, leader_id_, id_,
+             leader_id_, {}, seq);
+  if (send_) send_(leader_id_, *reconcile_env_);
+  reconcile_retry_.record_attempt(clock_.now(), reconcile_policy_);
+}
+
+void Member::finish_reconcile(const char* detail, std::uint64_t value,
+                              bool success) {
+  // Member-side terminal event of the reconciliation span.
+  obs::trace(clock_.now(), obs::TraceKind::reconcile_verdict, leader_id_, id_,
+             leader_id_, detail, value);
+  disconnected_mode_ = false;
+  replay_active_ = false;
+  reconcile_env_.reset();
+  reconcile_retry_.disarm();
+  obs::gauge_set(leader_id_, id_, "oplog_depth", 0);
+  if (success) {
+    // Fast rejoin: the leader already relayed every queued op under the
+    // verdict epoch; remember how many so next_seq_ resumes past them once
+    // the fresh NewGroupKey lands. Kg/epoch/view stay live across the heal.
+    pending_replayed_ = oplog_.size();
+    oplog_.clear();
+    (void)join();
+    return;
+  }
+  oplog_.clear();
+  pending_replayed_ = 0;
+  drop_group_state();
+  if (auto_rejoin_ && want_membership_)
+    rejoin_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x4E30);
+  emit(SessionClosed{std::string("reconcile ") + detail});
+}
+
+void Member::handle_reconcile_verdict(const wire::Envelope& e) {
+  auto reject = [this, &e](obs::EvidenceKind kind, const char* why) {
+    obs::count(leader_id_, id_, "auth_rejects_total");
+    obs::security_event(clock_.now(), kind, leader_id_, id_, e.sender, why);
+  };
+  if (!disconnected_mode_) {
+    reject(obs::EvidenceKind::bad_label, "verdict outside disconnected mode");
+    return;
+  }
+  auto plain = wire::open_sealed(aead_, kr_.view(), e);
+  if (!plain) {
+    reject(obs::EvidenceKind::aead_open_failure,
+           "verdict does not open under Kr");
+    return;
+  }
+  auto p = wire::decode_reconcile_verdict(*plain);
+  if (!p) {
+    reject(obs::EvidenceKind::malformed, "malformed reconcile verdict");
+    return;
+  }
+  if (p->l != leader_id_ || p->a != id_) {
+    reject(obs::EvidenceKind::identity_mismatch,
+           "reconcile verdict identity mismatch");
+    return;
+  }
+  if (p->nr != reconcile_nonce_) {
+    reject(obs::EvidenceKind::stale_nonce, "reconcile nonce mismatch");
+    return;
+  }
+  note_activity();
+  switch (p->verdict) {
+    case wire::ReconcileVerdictKind::admit: {
+      if (!replay_active_) {
+        replay_active_ = true;
+        obs::count(leader_id_, id_, "reconcile_admits_total");
+      }
+      // Track the newest leader epoch seen: the next_seq_ fix-up must bind
+      // to the epoch the leader actually relayed the final ops under.
+      verdict_epoch_ = p->epoch;
+      if (p->ack_seq > replay_acked_) replay_acked_ = p->ack_seq;
+      if (replay_acked_ >= oplog_.size()) {
+        finish_reconcile("admitted", verdict_epoch_, true);
+      } else if (replay_acked_ + 1 != replay_sent_) {
+        // Not already in flight (duplicate verdicts re-send via the retry
+        // timer, not here — keeps the replayed-op count honest).
+        send_next_op();
+      }
+      break;
+    }
+    case wire::ReconcileVerdictKind::quarantine:
+      obs::count(leader_id_, id_, "reconcile_quarantines_total");
+      finish_reconcile("quarantined", p->epoch, false);
+      break;
+    case wire::ReconcileVerdictKind::intrusion:
+      obs::count(leader_id_, id_, "reconcile_intrusions_total");
+      finish_reconcile("intrusion", p->epoch, false);
+      break;
+  }
 }
 
 std::size_t Member::tick() {
@@ -310,13 +486,43 @@ std::size_t Member::tick() {
       now - last_activity_ >= suspect_after_) {
     ENCLAVES_LOG(info) << id_ << ": leader silent for "
                        << (now - last_activity_) << " ticks, suspecting";
-    session_.close_local();
-    drop_group_state();
-    if (auto_rejoin_ && want_membership_)
-      rejoin_retry_.arm(now, stable_salt(id_) ^ 0x4E30);
     obs::count(leader_id_, id_, "suspicions_total");
     obs::trace(now, obs::TraceKind::suspect, leader_id_, id_, leader_id_);
+    if (reconcile_enabled_ && have_kg_) {
+      // Partition-tolerant path (PROTOCOL.md §12): suspicion marks a
+      // partition, not a death sentence — retain group state and start
+      // offering reconciliation instead of dropping everything.
+      enter_disconnected("suspected");
+    } else {
+      session_.close_local();
+      drop_group_state();
+      if (auto_rejoin_ && want_membership_)
+        rejoin_retry_.arm(now, stable_salt(id_) ^ 0x4E30);
+    }
     emit(SessionClosed{"leader suspected unreachable"});
+  }
+
+  // Disconnected-mode reconciliation: (re-)send the current offer — or the
+  // in-flight replayed op — on the reconcile policy's schedule. The cached
+  // envelope is rebuilt (fresh nonce) whenever the op-log grew since it was
+  // sealed. An exhausted budget abandons the heal and falls back to the
+  // classic drop-state + rejoin path, so liveness never hinges on a heal.
+  if (disconnected_mode_) {
+    if (reconcile_retry_.exhausted(reconcile_policy_)) {
+      obs::count(leader_id_, id_, "reconcile_abandons_total");
+      finish_reconcile("abandoned", 0, false);
+    } else if (reconcile_retry_.due(now, reconcile_policy_)) {
+      if (!reconcile_env_ || (!replay_active_ && offer_len_ != oplog_.size()))
+        build_reconcile_offer();
+      if (reconcile_retry_.attempts() > 0) {
+        obs::count(leader_id_, id_, "retransmits_total");
+        obs::trace(now, obs::TraceKind::retransmit, leader_id_, id_,
+                   leader_id_, wire::label_name(reconcile_env_->label));
+      }
+      if (send_) send_(leader_id_, *reconcile_env_);
+      reconcile_retry_.record_attempt(now, reconcile_policy_);
+      ++sent;
+    }
   }
 
   // Auto-rejoin with backoff. Each firing advances the failover target

@@ -25,6 +25,7 @@
 
 #include "core/events.h"
 #include "core/member_session.h"
+#include "core/oplog.h"
 #include "core/retry.h"
 #include "crypto/aead.h"
 #include "crypto/keys.h"
@@ -71,6 +72,28 @@ class Member {
     auto_rejoin_ = true;
     rejoin_policy_ = policy;
   }
+
+  /// Partition-tolerant disconnected operation (PROTOCOL.md §12): when
+  /// enabled, leader suspicion (and a liveness expulsion notice) puts the
+  /// member into `disconnected` mode instead of dropping group state. While
+  /// disconnected, send_data() queues into an HMAC-chained OpLog under Kr
+  /// (the session key held at disconnect) and the member offers
+  /// reconciliation to the leader on `policy`'s schedule. An exhausted
+  /// budget (or a quarantine/intrusion verdict) falls back to the standard
+  /// drop-state + rejoin path, so safety never depends on the heal.
+  void enable_reconciliation(RetryPolicy policy) {
+    reconcile_enabled_ = true;
+    reconcile_policy_ = policy;
+  }
+
+  /// True while operating partitioned with retained group state.
+  bool disconnected() const { return disconnected_mode_; }
+
+  /// Ops queued for replay (0 outside disconnected mode).
+  std::uint64_t oplog_depth() const { return oplog_.size(); }
+
+  /// The offline op-log itself (persistable via OpLog::serialize).
+  const OpLog& oplog() const { return oplog_; }
 
   /// HA failover (PROTOCOL.md §11): the ordered list of leader candidates
   /// this member may authenticate to — the active leader plus any warm
@@ -140,6 +163,11 @@ class Member {
   /// Returns false when the body was fenced (rejected, session dropped).
   bool apply_admin(const wire::AdminBody& body);
   void handle_group_data(const wire::Envelope& e);
+  void handle_reconcile_verdict(const wire::Envelope& e);
+  void enter_disconnected(const std::string& reason);
+  void build_reconcile_offer();
+  void send_next_op();
+  void finish_reconcile(const char* detail, std::uint64_t value, bool success);
   void drop_group_state();
   void advance_failover_target();
   void note_activity() { last_activity_ = clock_.now(); }
@@ -180,6 +208,28 @@ class Member {
   Tick last_activity_ = 0;
   Tick join_started_at_ = 0;  // when the current handshake began (obs)
   std::uint64_t rejoins_ = 0;
+
+  // Disconnected operation / reconciliation (PROTOCOL.md §12). Kr is a
+  // snapshot of the pairwise session key taken the moment the partition is
+  // declared — the only credential that can seal reconcile traffic the
+  // leader's parole list will accept. The offer envelope is cached for
+  // byte-identical retransmission and rebuilt (fresh nonce) whenever the
+  // op-log grows; during replay the cache holds the in-flight op instead.
+  bool reconcile_enabled_ = false;
+  RetryPolicy reconcile_policy_ = RetryPolicy::every_tick();
+  RetryState reconcile_retry_;
+  bool disconnected_mode_ = false;
+  crypto::SessionKey kr_;
+  OpLog oplog_;
+  std::uint64_t fence_epoch_ = 0;          // epoch held at disconnect
+  crypto::ProtocolNonce reconcile_nonce_;  // echoed in every verdict
+  std::optional<wire::Envelope> reconcile_env_;
+  std::uint64_t offer_len_ = 0;      // op-log length the cached offer covers
+  bool replay_active_ = false;       // admit received, ops in flight
+  std::uint64_t replay_acked_ = 0;   // leader's cumulative ack floor
+  std::uint64_t replay_sent_ = 0;    // highest op seq handed to the wire
+  std::uint64_t verdict_epoch_ = 0;  // leader epoch inside the admit
+  std::uint64_t pending_replayed_ = 0;  // next_seq_ fix-up after fast rejoin
 
   // HA failover (PROTOCOL.md §11). epoch_floor_ deliberately survives
   // drop_group_state(): the fence must hold across suspicion, expulsion and

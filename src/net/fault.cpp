@@ -19,6 +19,24 @@ bool crosses(const std::set<AgentId>& island, const Packet& p) {
 
 }  // namespace
 
+void FaultInjector::partition(std::set<AgentId> island) {
+  manual_island_ = std::move(island);
+  ++stats_.partitions_cut;
+  obs::count("net", "fault", "fault_partitions_total");
+  obs::trace(stats_.seen, obs::TraceKind::fault_partition, "net", "fault", {},
+             "cut", manual_island_.size());
+}
+
+void FaultInjector::heal() {
+  if (manual_island_.empty()) return;
+  const std::uint64_t size = manual_island_.size();
+  manual_island_.clear();
+  ++stats_.partitions_healed;
+  obs::count("net", "fault", "fault_heals_total");
+  obs::trace(stats_.seen, obs::TraceKind::fault_partition, "net", "fault", {},
+             "heal", size);
+}
+
 const LinkFaults& FaultInjector::faults_for(const Packet& p) const {
   auto it = plan_.per_link.find({p.envelope.sender, p.to});
   return it != plan_.per_link.end() ? it->second : plan_.faults;

@@ -67,6 +67,8 @@ class FaultInjector {
     std::uint64_t duplicated = 0;
     std::uint64_t delayed = 0;
     std::uint64_t partition_dropped = 0;
+    std::uint64_t partitions_cut = 0;    // manual partition() calls
+    std::uint64_t partitions_healed = 0; // manual heal() calls on a live cut
   };
 
   /// Decides the fate of one packet; advances the deterministic schedule.
@@ -79,11 +81,13 @@ class FaultInjector {
   }
 
   /// Manually cuts `island` off from the rest of the world (in addition to
-  /// any scheduled partitions) until heal() is called.
-  void partition(std::set<AgentId> island) {
-    manual_island_ = std::move(island);
-  }
-  void heal() { manual_island_.clear(); }
+  /// any scheduled partitions) until heal() is called. Cut and heal are
+  /// themselves fault verdicts: both emit a `fault_partition` trace event
+  /// against the injector's packet clock and count in stats(), so a healed
+  /// long partition is reconcilable against the protocol's own reconcile
+  /// evidence.
+  void partition(std::set<AgentId> island);
+  void heal();
   bool partitioned() const { return !manual_island_.empty(); }
 
   const Stats& stats() const { return stats_; }

@@ -11,6 +11,7 @@ std::string_view health_state_name(HealthState state) {
   switch (state) {
     case HealthState::healthy: return "healthy";
     case HealthState::degraded: return "degraded";
+    case HealthState::healing: return "healing";
     case HealthState::partitioned: return "partitioned";
     case HealthState::under_attack: return "under_attack";
   }
@@ -38,6 +39,13 @@ std::uint64_t counter_in(const MetricsSnapshot& snap, std::string_view group,
   auto it = snap.counters.find(
       MetricKey{std::string(group), std::string(agent), std::string(name)});
   return it == snap.counters.end() ? 0 : it->second;
+}
+
+std::int64_t gauge_in(const MetricsSnapshot& snap, std::string_view group,
+                      std::string_view agent, std::string_view name) {
+  auto it = snap.gauges.find(
+      MetricKey{std::string(group), std::string(agent), std::string(name)});
+  return it == snap.gauges.end() ? 0 : it->second;
 }
 
 // Windowed counter increase, clamped at 0 (a registry reset or a restarted
@@ -97,6 +105,8 @@ std::string HealthVerdict::to_json() const {
       out += ",\"suspicion\":" + std::to_string(ph.window_suspicion);
       out += ",\"partition_signals\":" +
              std::to_string(ph.window_partition_signals);
+      out += ",\"reconcile_signals\":" +
+             std::to_string(ph.window_reconcile_signals);
       out += "}}";
     }
     out += "}}";
@@ -132,6 +142,12 @@ HealthState HealthMonitor::apply_hysteresis(Hysteresis& h, HealthState raw) {
   if (static_cast<std::uint8_t>(raw) >= static_cast<std::uint8_t>(h.state)) {
     // Escalation (or steady state) is immediate; the thresholds are what
     // keep single faults from reaching here.
+    h.state = raw;
+    h.quiet = 0;
+  } else if (h.state == HealthState::partitioned &&
+             raw == HealthState::healing) {
+    // Reconciliation traffic is the *resolution* of a partition, not quiet:
+    // transition partitioned -> healing immediately rather than holding.
     h.state = raw;
     h.quiet = 0;
   } else if (++h.quiet >= config_.clear_windows) {
@@ -181,6 +197,12 @@ void HealthMonitor::evaluate(Tick now, const MetricsSnapshot& prev,
           delta(prev, cur, group, peer, "expelled_total") +
           delta(prev, cur, group, peer, "failover_retargets_total") +
           delta(prev, cur, "ha", peer, "suspicions_total");
+      // Only signals that prove the leader answered count as healing:
+      // the member re-sends its offer on every retry tick even into a dead
+      // link, so offer counts alone must not mask `partitioned`.
+      ph.window_reconcile_signals =
+          delta(prev, cur, group, peer, "reconcile_admits_total") +
+          delta(prev, cur, group, peer, "reconcile_ops_replayed_total");
       group_loss_signals +=
           delta(prev, cur, group, peer, "exchanges_abandoned_total") +
           delta(prev, cur, group, peer, "expulsions_total");
@@ -192,10 +214,24 @@ void HealthMonitor::evaluate(Tick now, const MetricsSnapshot& prev,
         raw = HealthState::under_attack;
         why = std::to_string(ph.window_suspicion) +
               " refusals accuse this peer in window";
+      } else if (ph.window_reconcile_signals >= config_.healing_signals) {
+        // Checked ahead of the partition branch: a healing member's own
+        // suspicion/rejoin evidence must not re-flag it partitioned while
+        // its op-log is replaying.
+        raw = HealthState::healing;
+        why = std::to_string(ph.window_reconcile_signals) +
+              " reconciliation signal(s) in window";
       } else if (ph.window_partition_signals >= config_.partition_signals) {
         raw = HealthState::partitioned;
         why = std::to_string(ph.window_partition_signals) +
               " connectivity-loss signal(s) in window";
+      } else if (gauge_in(cur, group, peer, "oplog_depth") > 0) {
+        // A non-empty offline op-log is a level signal, not an event: the
+        // peer is still operating disconnected, however long ago the
+        // suspicion that cut it off aged out of the window.
+        raw = HealthState::partitioned;
+        why = std::to_string(gauge_in(cur, group, peer, "oplog_depth")) +
+              " op(s) queued offline awaiting reconciliation";
       } else if (ph.window_retransmits >= config_.degraded_retransmits ||
                  ph.window_refusals >= config_.degraded_refusals) {
         raw = HealthState::degraded;

@@ -13,6 +13,10 @@
 //   healthy      — nothing notable inside the window
 //   degraded     — the liveness layer is visibly paying for faults
 //                  (retransmits/reanswers over threshold, refusals observed)
+//   healing      — a previously partitioned peer is reconciling its offline
+//                  op-log back into the group (reconcile.* counters moved in
+//                  the window); ranks *below* partitioned so the verdict
+//                  ladder reads partitioned → healing → healthy on a heal
 //   partitioned  — someone is unreachable: a member suspected its leader,
 //                  rejoined after expulsion, was expelled, retargeted to a
 //                  standby, or the leader abandoned exchanges/expelled
@@ -45,8 +49,9 @@ namespace enclaves::obs {
 enum class HealthState : std::uint8_t {
   healthy = 0,
   degraded = 1,
-  partitioned = 2,
-  under_attack = 3,
+  healing = 2,
+  partitioned = 3,
+  under_attack = 4,
 };
 
 /// Stable lowercase name ("healthy", "degraded", ...) for JSON and gauges.
@@ -69,6 +74,10 @@ struct HealthConfig {
   /// Windowed connectivity-loss signals (suspicions, rejoins, expulsions,
   /// failover retargets) at/above which a peer is partitioned.
   std::uint64_t partition_signals = 1;
+  /// Windowed answered reconciliation signals (admits, replayed ops —
+  /// unanswered offer retries are not healing evidence) at/above
+  /// which a peer reads `healing` instead of `partitioned`.
+  std::uint64_t healing_signals = 1;
   /// Windowed ledger suspicion accusing one peer at/above which that peer
   /// is flagged under_attack.
   std::uint64_t attack_suspicion = 5;
@@ -85,6 +94,7 @@ struct PeerHealth {
   std::uint64_t window_refusals = 0;    // refusals this peer observed
   std::uint64_t window_suspicion = 0;   // new suspicion accusing this peer
   std::uint64_t window_partition_signals = 0;
+  std::uint64_t window_reconcile_signals = 0;  // answered: admits/replays
 
   friend bool operator==(const PeerHealth&, const PeerHealth&) = default;
 };

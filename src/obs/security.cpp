@@ -26,6 +26,7 @@ std::string_view evidence_kind_name(EvidenceKind kind) {
     case EvidenceKind::join_denied: return "join_denied";
     case EvidenceKind::bad_label: return "bad_label";
     case EvidenceKind::malformed: return "malformed";
+    case EvidenceKind::forged_oplog: return "forged_oplog";
   }
   return "unknown";
 }
@@ -46,6 +47,7 @@ std::string_view evidence_metric_name(EvidenceKind kind) {
     case EvidenceKind::join_denied: return "refusals_join_denied_total";
     case EvidenceKind::bad_label: return "refusals_bad_label_total";
     case EvidenceKind::malformed: return "refusals_malformed_total";
+    case EvidenceKind::forged_oplog: return "refusals_forged_oplog_total";
   }
   return "refusals_unknown_total";
 }

@@ -50,6 +50,8 @@ enum class EvidenceKind : std::uint8_t {
   join_denied,        // admission policy refused an AuthInitReq
   bad_label,          // out-of-state or unexpected wire label
   malformed,          // undecodable body inside an authentic-looking frame
+  forged_oplog,       // reconciliation replay broke the op-log HMAC chain
+                      //   (forged, reordered, or epoch-shifted queued op)
 };
 
 /// Stable lowercase name for JSONL export and metric names.

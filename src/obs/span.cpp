@@ -16,6 +16,7 @@ std::string_view span_kind_name(SpanKind kind) {
     case SpanKind::rekey: return "rekey";
     case SpanKind::rekey_delivery: return "rekey_delivery";
     case SpanKind::failover: return "failover";
+    case SpanKind::reconcile: return "reconcile";
   }
   return "unknown";
 }
@@ -55,6 +56,7 @@ struct Builder {
   std::map<Key, std::size_t> open_rekeys;   // (group, epoch-as-string)
   std::map<std::string, std::size_t> open_failovers;  // ha agent -> index
   std::map<std::string, std::size_t> promoted;  // promoted leader -> failover
+  std::map<Key, std::size_t> open_reconciles;   // (group, member) -> index
 
   Span& open(SpanKind kind, const TraceEvent& e) {
     Span s;
@@ -224,6 +226,35 @@ struct Builder {
           {e.tick, "fence", e.detail, e.value});
   }
 
+  void on_reconcile(const TraceEvent& e) {
+    // Leader-side events carry agent == group; the member end is then the
+    // peer. Member-side events anchor and close the span.
+    const std::string member = e.agent == e.group ? e.peer : e.agent;
+    const Key key{e.group, member};
+    if (e.kind == TraceKind::disconnect) {
+      open_reconciles.erase(key);  // a fresh partition abandons any old span
+      Span& s = open(SpanKind::reconcile, e);
+      s.detail = e.detail;  // why the member went disconnected
+      add_participant(s, e.agent);
+      add_participant(s, e.peer);
+      open_reconciles[key] = spans.size() - 1;
+      return;
+    }
+    auto it = open_reconciles.find(key);
+    if (it == open_reconciles.end()) return;
+    Span& s = spans[it->second];
+    s.annotations.push_back(
+        {e.tick, std::string(trace_kind_name(e.kind)), e.detail, e.value});
+    s.end = std::max(s.end, e.tick);
+    add_participant(s, e.agent);
+    // The member's terminal verdict (admitted / quarantined / intrusion /
+    // abandoned) closes the span; leader-side verdicts only annotate.
+    if (e.kind == TraceKind::reconcile_verdict && e.agent != e.group) {
+      close(it->second, std::max(s.end, e.tick));
+      open_reconciles.erase(it);
+    }
+  }
+
   void on_fault(const TraceEvent& e) {
     const std::string_view name = trace_kind_name(e.kind);
     const std::string member = member_end(e);
@@ -267,6 +298,11 @@ std::vector<Span> SpanTracker::build(const std::vector<TraceEvent>& events) {
       case TraceKind::fault_drop:
       case TraceKind::fault_duplicate:
       case TraceKind::fault_delay: b.on_fault(e); break;
+      case TraceKind::disconnect:
+      case TraceKind::oplog_append:
+      case TraceKind::reconcile_offer:
+      case TraceKind::reconcile_verdict:
+      case TraceKind::op_replay: b.on_reconcile(e); break;
       default: break;  // phases/leave/data/repl carry no span boundary
     }
   }

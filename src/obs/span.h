@@ -19,6 +19,9 @@
 //   rekey_delivery one member applying one epoch (child of its rekey span)
 //   failover       ha suspect .. promote .. members re-joined the promoted
 //                  leader (those join spans become children of the failover)
+//   reconcile      member disconnect .. terminal reconcile verdict on the
+//                  member side (queued ops, offers, and replays attach as
+//                  annotations; leader-side verdicts annotate by peer)
 //
 // Fault-injector verdicts attach as annotations on the span whose packet
 // they hit (matched by wire label + sender/recipient against the open
@@ -43,6 +46,7 @@ enum class SpanKind : std::uint8_t {
   rekey,
   rekey_delivery,
   failover,
+  reconcile,
 };
 
 /// Stable lowercase name for JSONL export and tree rendering.

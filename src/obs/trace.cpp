@@ -37,6 +37,12 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::promote: return "promote";
     case TraceKind::fence: return "fence";
     case TraceKind::health: return "health";
+    case TraceKind::disconnect: return "disconnect";
+    case TraceKind::oplog_append: return "oplog_append";
+    case TraceKind::reconcile_offer: return "reconcile_offer";
+    case TraceKind::reconcile_verdict: return "reconcile_verdict";
+    case TraceKind::op_replay: return "op_replay";
+    case TraceKind::fault_partition: return "fault_partition";
   }
   return "unknown";
 }

@@ -54,6 +54,19 @@ enum class TraceKind : std::uint8_t {
   // Live telemetry plane (obs/health.h): a HealthMonitor verdict changed
   // state for a group or peer (detail: old->new, value: numeric new state).
   health,
+
+  // Disconnected operation / reconciliation plane (core/oplog.h,
+  // wire/reconcile.h, PROTOCOL.md §12).
+  disconnect,         // member entered disconnected mode (detail: why)
+  oplog_append,       // op queued into the offline log (value: seq)
+  reconcile_offer,    // offer built (member) or answered (leader)
+                      //   (detail: verdict on the leader side, value: log len)
+  reconcile_verdict,  // terminal verdict seen by the member, or any verdict
+                      //   sent by the leader (detail: kind, value: epoch/ack)
+  op_replay,          // queued op replayed (member) / accepted (leader)
+                      //   (value: seq)
+  fault_partition,    // injector partition cut or healed (detail: cut|heal,
+                      //   value: island size)
 };
 
 /// Stable lowercase name for JSONL export and chart rendering.

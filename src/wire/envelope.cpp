@@ -29,6 +29,9 @@ const char* label_name(Label label) {
     case Label::ReplSnapshot: return "ReplSnapshot";
     case Label::ReplAck: return "ReplAck";
     case Label::ReplHeartbeat: return "ReplHeartbeat";
+    case Label::ReconcileOffer: return "ReconcileOffer";
+    case Label::ReconcileVerdict: return "ReconcileVerdict";
+    case Label::OpReplay: return "OpReplay";
   }
   return "?";
 }
@@ -58,6 +61,9 @@ bool is_known_label(std::uint8_t raw) {
     case Label::ReplSnapshot:
     case Label::ReplAck:
     case Label::ReplHeartbeat:
+    case Label::ReconcileOffer:
+    case Label::ReconcileVerdict:
+    case Label::OpReplay:
       return true;
   }
   return false;

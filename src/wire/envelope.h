@@ -48,6 +48,14 @@ enum class Label : std::uint8_t {
   ReplSnapshot = 97,   // sealed LeaderSnapshot baseline covering seq
   ReplAck = 98,        // standby -> active: applied floor / gap / fence
   ReplHeartbeat = 99,  // active -> standby: liveness + current log head
+
+  // Reconciliation plane (partition-healed member <-> leader; sealed under
+  // the pre-partition pairwise key Kr — see wire/reconcile.h, core/oplog.h
+  // and PROTOCOL.md §12). Not part of the paper's message space either: it
+  // is the Coda-style disconnected-operation extension.
+  ReconcileOffer = 112,    // member -> leader: fence epoch + op-log head
+  ReconcileVerdict = 113,  // leader -> member: admit/quarantine/intrusion
+  OpReplay = 114,          // member -> leader: one chained queued op
 };
 
 /// Stable label name for logs and attack narration.

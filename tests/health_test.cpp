@@ -2,6 +2,7 @@
 // under_attack), windowed deltas vs cumulative totals, hysteresis, gauge and
 // trace emission, and verdict JSON for hostile ids.
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "obs/health.h"
@@ -93,6 +94,100 @@ TEST(HealthMonitor, ConnectivitySignalsMeanPartitioned) {
   // Partitioned outranks the degraded evidence in the same window.
   EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::partitioned);
   EXPECT_EQ(monitor.group_state("L"), HealthState::partitioned);
+}
+
+TEST(HealthMonitor, ReconcileSignalsMeanHealingNotPartitioned) {
+  HealthMonitor monitor;
+  // A healing member's own suspicion/rejoin evidence rides along with its
+  // reconciliation traffic; the reconcile signals must win.
+  monitor.observe(16, snap({{{"L", "m2", "suspicions_total"}, 1},
+                            {{"L", "m2", "reconcile_offers_total"}, 1},
+                            {{"L", "m2", "reconcile_ops_replayed_total"}, 3}}));
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::healing);
+  const PeerHealth& ph = monitor.verdict().groups.at("L").peers.at("m2");
+  EXPECT_EQ(ph.window_reconcile_signals, 3u)
+      << "the offer send is not an answered signal";
+  EXPECT_NE(ph.why.find("reconciliation"), std::string::npos) << ph.why;
+}
+
+TEST(HealthMonitor, UnansweredOffersAreNotHealingEvidence) {
+  HealthMonitor monitor;
+  // A partitioned member re-sends its offer on every retry tick, into a
+  // link that drops it. Offer counts alone must leave the peer
+  // `partitioned` — only an answer from the leader (admit / replayed op)
+  // reads as healing.
+  monitor.observe(16, snap({{{"L", "m2", "suspicions_total"}, 1},
+                            {{"L", "m2", "reconcile_offers_total"}, 7}}));
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::partitioned);
+  const PeerHealth& ph = monitor.verdict().groups.at("L").peers.at("m2");
+  EXPECT_EQ(ph.window_reconcile_signals, 0u);
+}
+
+TEST(HealthMonitor, OfflineBacklogKeepsPeerPartitioned) {
+  HealthMonitor monitor;
+  // The suspicion that cut the peer off is a one-shot event; windows later
+  // it has aged out. The non-empty op-log gauge is the level signal that
+  // the peer is still operating disconnected.
+  auto with_backlog = snap({{{"L", "m2", "suspicions_total"}, 1},
+                            {{"L", "m2", "retransmits_total"}, 5}});
+  with_backlog.gauges[MetricKey{"L", "m2", "oplog_depth"}] = 3;
+  monitor.observe(16, with_backlog);
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::partitioned);
+
+  // Next window: no new counters at all, backlog still queued — the raw
+  // verdict itself stays partitioned (not a hysteresis hold).
+  auto still_queued = with_backlog;
+  still_queued.counters[MetricKey{"L", "m2", "retransmits_total"}] = 9;
+  monitor.observe(32, still_queued);
+  const PeerHealth& ph = monitor.verdict().groups.at("L").peers.at("m2");
+  EXPECT_EQ(ph.state, HealthState::partitioned);
+  EXPECT_NE(ph.why.find("queued offline"), std::string::npos) << ph.why;
+
+  // The backlog drains through an answered replay: healing.
+  auto drained = still_queued;
+  drained.gauges[MetricKey{"L", "m2", "oplog_depth"}] = 0;
+  drained.counters[MetricKey{"L", "m2", "reconcile_admits_total"}] = 1;
+  drained.counters[MetricKey{"L", "m2", "reconcile_ops_replayed_total"}] = 3;
+  monitor.observe(48, drained);
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::healing);
+}
+
+TEST(HealthMonitor, HealLadderReadsPartitionedHealingHealthy) {
+  MetricsRegistry registry;
+  TraceLog trace_log;
+  ScopedMetricsSink metrics_sink(registry);
+  ScopedTraceSink trace_sink(trace_log);
+
+  HealthMonitor monitor;  // clear_windows = 2
+  // Window 1: the member is cut off — partitioned.
+  monitor.observe(16, snap({{{"L", "m2", "suspicions_total"}, 1}}));
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::partitioned);
+  // Window 2: its op-log is replaying. Healing ranks BELOW partitioned, but
+  // reconciliation is the partition's resolution, not quiet — the monitor
+  // transitions immediately instead of holding for clear_windows.
+  monitor.observe(32, snap({{{"L", "m2", "suspicions_total"}, 1},
+                            {{"L", "m2", "reconcile_offers_total"}, 1},
+                            {{"L", "m2", "reconcile_admits_total"}, 1}}));
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::healing);
+  // Quiet windows: healing de-escalates through normal hysteresis.
+  const MetricsSnapshot quiet =
+      snap({{{"L", "m2", "suspicions_total"}, 1},
+            {{"L", "m2", "reconcile_offers_total"}, 1},
+            {{"L", "m2", "reconcile_admits_total"}, 1}});
+  monitor.observe(48, quiet);
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::healing) << "held";
+  monitor.observe(64, quiet);
+  EXPECT_EQ(monitor.peer_state("L", "m2"), HealthState::healthy);
+
+  // The transition trail reads partitioned -> healing -> healthy.
+  std::vector<std::string> transitions;
+  for (const TraceEvent& e : trace_log.events())
+    if (e.kind == TraceKind::health && e.agent == "m2")
+      transitions.push_back(e.detail);
+  EXPECT_EQ(transitions,
+            (std::vector<std::string>{"healthy->partitioned",
+                                      "partitioned->healing",
+                                      "healing->healthy"}));
 }
 
 TEST(HealthMonitor, LeaderAbandonsPartitionTheGroupNotThePeer) {

@@ -40,6 +40,16 @@ TopFrame golden_frame() {
   m1.window_retransmits = 4;
   group.peers["m1"] = m1;
 
+  // A partitioned member mid-heal: its offline op-log is replaying, and the
+  // oplog_depth gauge shows what is still queued.
+  obs::PeerHealth m2;
+  m2.state = obs::HealthState::healing;
+  m2.why = "2 reconciliation signal(s) in window";
+  m2.window_partition_signals = 1;
+  m2.window_reconcile_signals = 2;
+  group.peers["m2"] = m2;
+  frame.snapshot.gauges[obs::MetricKey{"L", "m2", "oplog_depth"}] = 5;
+
   frame.verdict.groups["L"] = group;
   frame.rates["retransmits_total"] = {0, 1, 4, 2, 0};
   frame.ledger_tail = {
@@ -54,10 +64,12 @@ TEST(RenderFrame, GoldenDashboard) {
       "enclaves_top — tick 128 (7 window(s))  overall: degraded\n"
       "\n"
       "group L: degraded — peer m1: 4 retransmits/reanswers in window\n"
-      "  peer    state         susp  rt/ref/susp/part  why\n"
-      "  m0      healthy       0     1/0/0/0\n"
-      "  m1      degraded      2     4/0/0/0           "
+      "  peer    state         susp  rt/ref/susp/part  oplog  why\n"
+      "  m0      healthy       0     1/0/0/0           0\n"
+      "  m1      degraded      2     4/0/0/0           0      "
       "4 retransmits/reanswers in window\n"
+      "  m2      healing       0     0/0/0/1           5      "
+      "2 reconciliation signal(s) in window\n"
       "\n"
       "rates (per sample):\n"
       "  retransmits_total▁▂█▄▁  (+7)\n"

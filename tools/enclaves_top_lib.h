@@ -76,6 +76,14 @@ inline std::uint64_t counter_at(const obs::MetricsSnapshot& snap,
   return it == snap.counters.end() ? 0 : it->second;
 }
 
+inline std::int64_t gauge_at(const obs::MetricsSnapshot& snap,
+                             std::string_view group, std::string_view agent,
+                             std::string_view name) {
+  auto it = snap.gauges.find(obs::MetricKey{
+      std::string(group), std::string(agent), std::string(name)});
+  return it == snap.gauges.end() ? 0 : it->second;
+}
+
 }  // namespace top_detail
 
 /// The dashboard: overall banner, per-group tables (state, per-peer window
@@ -95,15 +103,19 @@ inline std::string render_frame(const TopFrame& frame,
     if (!gh.why.empty()) out += " — " + gh.why;
     out += "\n";
     out += "  " + pad("peer", 8) + pad("state", 14) + pad("susp", 6) +
-           pad("rt/ref/susp/part", 18) + "why\n";
+           pad("rt/ref/susp/part", 18) + pad("oplog", 7) + "why\n";
     for (const auto& [peer, ph] : gh.peers) {
       const std::string window = std::to_string(ph.window_retransmits) + "/" +
                                  std::to_string(ph.window_refusals) + "/" +
                                  std::to_string(ph.window_suspicion) + "/" +
                                  std::to_string(ph.window_partition_signals);
+      // Offline op-log queue depth (PROTOCOL.md §12): non-zero only while
+      // the member is disconnected and queueing; drains to 0 on heal.
+      const std::string oplog = std::to_string(
+          top_detail::gauge_at(frame.snapshot, group, peer, "oplog_depth"));
       out += "  " + pad(peer, 8) + pad(obs::health_state_name(ph.state), 14) +
-             pad(std::to_string(ph.suspicion), 6);
-      out += ph.why.empty() ? window : pad(window, 18) + ph.why;
+             pad(std::to_string(ph.suspicion), 6) + pad(window, 18);
+      out += ph.why.empty() ? oplog : pad(oplog, 7) + ph.why;
       out += "\n";
     }
   }
