@@ -1,8 +1,11 @@
 #include "core/leader.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "core/oplog.h"
+#include "wire/keytree.h"
 #include "obs/metrics.h"
 #include "obs/security.h"
 #include "obs/trace.h"
@@ -55,6 +58,10 @@ void Leader::handle(const wire::Envelope& e) {
   }
   if (e.label == wire::Label::OpReplay) {
     handle_op_replay(e);
+    return;
+  }
+  if (e.label == wire::Label::KeyTreeRecover) {
+    handle_keytree_recover(e);
     return;
   }
 
@@ -142,7 +149,10 @@ void Leader::handle(const wire::Envelope& e) {
     audit_.record(AuditKind::member_left, member_id);
     obs::count(config_.id, config_.id, "leaves_total");
     obs::trace(clock_.now(), obs::TraceKind::leave, config_.id, config_.id,
-               member_id, "req_close");
+               member_id,
+               outcome->superseded ? "superseded" : "req_close");
+    if (outcome->superseded)
+      obs::count(config_.id, config_.id, "sessions_superseded_total");
     handle_member_closed(member_id);
   }
 }
@@ -192,7 +202,28 @@ void Leader::handle_member_authenticated(const std::string& member_id) {
 
   // Initialize or renew the group key. Section 2.2: "The group leader
   // generates a first group key Kg when the first member is accepted."
-  if (!kg_initialized_ || (config_.rekey.on_join && !fast)) {
+  if (tree_mode()) {
+    ensure_tree();
+    if (tree_->full()) keytree_grow_and_rebuild();
+    auto it = sessions_.find(member_id);
+    assert(it != sessions_.end() && it->second->in_session());
+    std::uint32_t hint = 0;
+    if (auto h = keytree_hints_.find(member_id); h != keytree_hints_.end())
+      hint = h->second;
+    std::uint32_t leaf = tree_->assign(
+        member_id, derive_leaf_kek(it->second->session_key(), member_id),
+        hint);
+    // The slot travels on the authenticated admin channel; the leaf KEK
+    // never travels at all (both sides derive it from Ka).
+    submit_admin_to(member_id, wire::KeyTreeAssign{leaf, tree_->depth()});
+    if (!kg_initialized_ || (config_.rekey.on_join && !fast)) {
+      tree_rekey(wire::KeyTreeReason::join, member_id);
+    } else {
+      // No rotation due (manual policy / fast rejoin): hand the joiner its
+      // current path unsolicited.
+      send_keytree_path(member_id, crypto::ProtocolNonce());
+    }
+  } else if (!kg_initialized_ || (config_.rekey.on_join && !fast)) {
     rekey();  // distributes to everyone, including the new member
   } else {
     send_group_key_to(member_id);
@@ -215,7 +246,14 @@ void Leader::handle_member_closed(const std::string& member_id) {
                  static_cast<std::int64_t>(members_.size()));
   for (const auto& m : members_)
     submit_admin_to(m, wire::MemberLeft{member_id});
-  if (config_.rekey.on_leave && !members_.empty()) rekey();
+  if (tree_mode() && tree_ && tree_->has_member(member_id)) {
+    if (config_.rekey.on_leave && !members_.empty())
+      tree_rekey(wire::KeyTreeReason::leave, member_id);
+    else
+      tree_->remove(member_id);  // prune only; stale KEKs rotate out later
+  } else if (config_.rekey.on_leave && !members_.empty()) {
+    rekey();
+  }
   if (on_member_left) on_member_left(member_id);
 }
 
@@ -270,10 +308,26 @@ void Leader::handle_group_data(const wire::Envelope& e) {
 }
 
 void Leader::rekey() {
-  kg_ = crypto::GroupKey::random(rng_);
   ++epoch_;
-  kg_initialized_ = true;
   data_since_rekey_ = 0;
+  if (tree_mode() && tree_ && tree_->leaf_count() > 0) {
+    // Manual/periodic tree rekey: rotate the root only — two seals and one
+    // broadcast regardless of group size.
+    auto payload = tree_->rotate_root(epoch_);
+    kg_ = tree_->group_key(epoch_);
+    kg_initialized_ = true;
+    note_rekey();
+    emit_keytree_levels(payload);
+    broadcast_keytree(payload);
+  } else {
+    kg_ = crypto::GroupKey::random(rng_);
+    kg_initialized_ = true;
+    note_rekey();
+    for (const auto& m : members_) send_group_key_to(m);
+  }
+}
+
+void Leader::note_rekey() {
   ENCLAVES_LOG(info) << config_.id << ": rekey to epoch " << epoch_;
   audit_.record(AuditKind::rekey, {}, "epoch " + std::to_string(epoch_));
   obs::count(config_.id, config_.id, "rekeys_total");
@@ -282,7 +336,6 @@ void Leader::rekey() {
   obs::trace(clock_.now(), obs::TraceKind::rekey, config_.id, config_.id, {},
              {}, epoch_);
   if (on_rekey) on_rekey(epoch_);
-  for (const auto& m : members_) send_group_key_to(m);
 
   // Parole GC: the admission window is `parole_epochs` rekeys, but entries
   // are retained for twice that, so a late offer still earns an explicit
@@ -304,6 +357,147 @@ void Leader::rekey() {
     obs::gauge_set(config_.id, config_.id, "parole_members",
                    static_cast<std::int64_t>(parole_.size()));
   }
+}
+
+void Leader::ensure_tree() {
+  if (tree_) return;
+  std::uint32_t depth =
+      std::max({config_.keytree_depth, keytree_hint_depth_, 1u});
+  tree_.emplace(config_.id, aead_, rng_, depth);
+}
+
+void Leader::set_keytree_hints(std::map<std::string, std::uint32_t> slots,
+                               std::uint32_t depth) {
+  keytree_hints_ = std::move(slots);
+  keytree_hint_depth_ = depth;
+}
+
+void Leader::tree_rekey(wire::KeyTreeReason reason,
+                        const std::string& member_id) {
+  ++epoch_;
+  data_since_rekey_ = 0;
+  wire::KeyTreeUpdatePayload payload;
+  switch (reason) {
+    case wire::KeyTreeReason::join:
+      payload = tree_->rotate_join(member_id, epoch_);
+      break;
+    case wire::KeyTreeReason::leave:
+      payload = tree_->rotate_leave(member_id, epoch_);
+      break;
+    default:
+      payload = tree_->rotate_root(epoch_);
+      break;
+  }
+  if (tree_->leaf_count() == 0) {
+    // Rotated the last leaf away: no root, no one to tell. Keep kg_ fresh
+    // so a later first join starts from a clean epoch.
+    kg_ = crypto::GroupKey::random(rng_);
+    kg_initialized_ = true;
+    keytree_update_env_.reset();  // cache no longer matches the epoch
+    note_rekey();
+    return;
+  }
+  kg_ = tree_->group_key(epoch_);
+  kg_initialized_ = true;
+  note_rekey();
+  emit_keytree_levels(payload);
+  broadcast_keytree(payload);
+}
+
+void Leader::keytree_grow_and_rebuild() {
+  tree_->grow();
+  ++epoch_;
+  data_since_rekey_ = 0;
+  auto payload = tree_->rebuild(epoch_);
+  kg_ = tree_->group_key(epoch_);
+  kg_initialized_ = true;
+  note_rekey();
+  obs::count(config_.id, config_.id, "keytree_rebuilds_total");
+  // Every leaf re-indexed: re-seat each member over the authenticated admin
+  // channel. A member whose assignment trails the broadcast heals through
+  // the recovery path (leaf KEKs are index-independent).
+  for (const auto& m : members_)
+    submit_admin_to(m, wire::KeyTreeAssign{tree_->leaf_of(m),
+                                           tree_->depth()});
+  emit_keytree_levels(payload);
+  broadcast_keytree(payload);
+}
+
+void Leader::emit_keytree_levels(const wire::KeyTreeUpdatePayload& payload) {
+  if (!obs::trace_sink()) return;
+  // One span child per rotated tree level, deepest first (rotation order).
+  std::vector<std::uint32_t> levels;
+  for (const auto& e : payload.entries)
+    levels.push_back(static_cast<std::uint32_t>(std::bit_width(e.node)) - 1);
+  std::sort(levels.begin(), levels.end(), std::greater<>());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  for (std::uint32_t lvl : levels) {
+    obs::trace(clock_.now(), obs::TraceKind::keytree_level, config_.id,
+               config_.id, {}, "lvl" + std::to_string(lvl), epoch_);
+  }
+}
+
+void Leader::broadcast_keytree(const wire::KeyTreeUpdatePayload& payload) {
+  obs::count(config_.id, config_.id, "keytree_updates_total");
+  obs::count(config_.id, config_.id, "keytree_entries_total",
+             payload.entries.size());
+  obs::gauge_set(config_.id, config_.id, "keytree_depth",
+                 static_cast<std::int64_t>(tree_->depth()));
+  obs::gauge_set(config_.id, config_.id, "keytree_leaves",
+                 static_cast<std::int64_t>(tree_->leaf_count()));
+  wire::Envelope env{wire::Label::KeyTreeUpdate, config_.id,
+                     wire::kGroupRecipient, wire::encode(payload)};
+  keytree_update_env_ = env;  // anti-entropy re-offer cache (tick())
+  for (const auto& m : members_) send(m, env);
+}
+
+void Leader::handle_keytree_recover(const wire::Envelope& e) {
+  auto reject = [this, &e](obs::EvidenceKind kind, const char* why) {
+    audit_.record(AuditKind::auth_reject, e.sender, why);
+    obs::count(config_.id, config_.id, "auth_rejects_total");
+    obs::security_event(clock_.now(), kind, config_.id, config_.id, e.sender,
+                        why);
+  };
+  if (!tree_mode() || !tree_ || !members_.count(e.sender)) {
+    reject(obs::EvidenceKind::bad_label, "keytree recover without a leaf");
+    return;
+  }
+  const crypto::GroupKey* kek = tree_->leaf_kek(e.sender);
+  if (!kek) {
+    reject(obs::EvidenceKind::bad_label, "keytree recover without a leaf");
+    return;
+  }
+  auto plain = wire::open_sealed(aead_, kek->view(), e);
+  if (!plain) {
+    reject(obs::EvidenceKind::aead_open_failure,
+           "recover does not open under the leaf KEK");
+    return;
+  }
+  auto p = wire::decode_keytree_recover(*plain);
+  if (!p) {
+    reject(obs::EvidenceKind::malformed, "malformed keytree recover");
+    return;
+  }
+  if (p->a != e.sender || p->l != config_.id) {
+    reject(obs::EvidenceKind::identity_mismatch,
+           "keytree recover identity mismatch");
+    return;
+  }
+  obs::count(config_.id, config_.id, "keytree_recoveries_total");
+  obs::trace(clock_.now(), obs::TraceKind::keytree_recover, config_.id,
+             config_.id, e.sender, "answer", p->have_epoch);
+  send_keytree_path(e.sender, p->nr);
+}
+
+void Leader::send_keytree_path(const std::string& member_id,
+                               const crypto::ProtocolNonce& nr) {
+  const crypto::GroupKey* kek = tree_->leaf_kek(member_id);
+  assert(kek != nullptr);
+  auto payload = tree_->path_for(member_id, epoch_, nr);
+  auto env = wire::make_sealed(aead_, kek->view(), rng_,
+                               wire::Label::KeyTreePath, config_.id,
+                               member_id, wire::encode(payload));
+  send(member_id, std::move(env));
 }
 
 void Leader::broadcast_notice(const std::string& text) {
@@ -373,6 +567,8 @@ void Leader::shutdown_group(const std::string& reason) {
   }
   members_.clear();
   obs::gauge_set(config_.id, config_.id, "members", 0);
+  tree_.reset();  // no group left; the next group starts a fresh tree
+  keytree_update_env_.reset();
   // No group left to reconcile into.
   parole_.clear();
   reconciling_.clear();
@@ -659,6 +855,16 @@ std::size_t Leader::tick() {
       ++sent;
     }
   }
+  // Key-tree anti-entropy: re-offer the latest update on a fixed cadence.
+  // Members at the current epoch drop it as a duplicate; a member that
+  // lost the broadcast either applies it or finds it unreachable and
+  // starts path recovery — so convergence never depends on data traffic.
+  if (keytree_update_env_ && config_.keytree_rebroadcast_every > 0 &&
+      now % config_.keytree_rebroadcast_every == 0 && !members_.empty()) {
+    obs::count(config_.id, config_.id, "keytree_rebroadcasts_total");
+    for (const auto& m : members_) send(m, *keytree_update_env_);
+    sent += members_.size();
+  }
   if (config_.auto_expel_attempts > 0)
     expel_stalled(config_.auto_expel_attempts);
   return sent;
@@ -716,6 +922,10 @@ LeaderSnapshot Leader::snapshot() const {
   for (const auto& [id, session] : sessions_)
     (void)snap.registry.add(Credential{id, session->long_term_key(),
                                        "snapshot"});
+  if (tree_) {
+    snap.keytree_depth = tree_->depth();
+    snap.keytree_slots = tree_->slots();
+  }
   return snap;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/audit.h"
+#include "core/keytree.h"
 #include "core/leader_session.h"
 #include "core/policy.h"
 #include "core/registry.h"
@@ -64,6 +65,16 @@ struct LeaderConfig {
   /// Upper bound on ops accepted in a single reconciliation replay; longer
   /// offers are quarantined rather than replayed.
   std::uint64_t max_replay_ops = 256;
+  /// Initial key-tree depth when rekey.algo == tree (capacity 2^depth
+  /// leaves; the tree grows by one level when full). Sizing this to the
+  /// expected group avoids O(N) rebuild broadcasts mid-run.
+  std::uint32_t keytree_depth = 2;
+  /// Anti-entropy for the fire-and-forget key-tree plane: every this many
+  /// ticks, tick() re-offers the latest KEY_TREE_UPDATE to all members. A
+  /// member that lost the broadcast (and sees no data traffic to trip path
+  /// recovery) still converges; current members drop it as a same-epoch
+  /// duplicate. 0 disables.
+  Tick keytree_rebroadcast_every = 8;
 };
 
 class Leader {
@@ -181,6 +192,17 @@ class Leader {
   /// a fresh leader (before the first rekey); later calls are ignored.
   void set_epoch_floor(std::uint64_t epoch);
 
+  /// Installs key-tree leaf-slot hints from a pre-crash snapshot: a
+  /// restarted (or promoted) tree-mode leader re-seats rejoining members in
+  /// their old subtrees, so churn after recovery rotates the same paths it
+  /// would have before the crash. Hints are best-effort; a taken or
+  /// out-of-range slot falls back to first-free.
+  void set_keytree_hints(std::map<std::string, std::uint32_t> slots,
+                         std::uint32_t depth);
+
+  /// The live key tree (null in flat mode or before the first tree member).
+  const KeyTree* keytree() const { return tree_ ? &*tree_ : nullptr; }
+
   /// Expels every member stalled for at least `attempts` retransmissions.
   /// Also clears ghost handshakes (sessions stuck in WaitingForKeyAck, e.g.
   /// from a replayed AuthInitReq) without announcing a departure — the
@@ -228,6 +250,19 @@ class Leader {
   void handle_member_closed(const std::string& member_id);
   void handle_group_data(const wire::Envelope& e);
   void send_group_key_to(const std::string& member_id);
+  bool tree_mode() const { return config_.rekey.algo == RekeyAlgo::tree; }
+  void ensure_tree();
+  /// Shared rekey bookkeeping (audit, metrics, trace, HA hook, parole GC)
+  /// — called by every path that moved epoch_/kg_.
+  void note_rekey();
+  /// Rotates the tree for a join/leave and broadcasts the update.
+  void tree_rekey(wire::KeyTreeReason reason, const std::string& member_id);
+  void keytree_grow_and_rebuild();
+  void emit_keytree_levels(const wire::KeyTreeUpdatePayload& payload);
+  void broadcast_keytree(const wire::KeyTreeUpdatePayload& payload);
+  void handle_keytree_recover(const wire::Envelope& e);
+  void send_keytree_path(const std::string& member_id,
+                         const crypto::ProtocolNonce& nr);
   void handle_reconcile_offer(const wire::Envelope& e);
   void handle_op_replay(const wire::Envelope& e);
   struct Parole;
@@ -248,6 +283,14 @@ class Leader {
   crypto::GroupKey kg_;
   std::uint64_t epoch_ = 0;
   bool kg_initialized_ = false;
+
+  // Key-tree rekey plane (PROTOCOL.md §13); engaged when rekey.algo==tree.
+  std::optional<KeyTree> tree_;
+  std::map<std::string, std::uint32_t> keytree_hints_;  // snapshot slots
+  std::uint32_t keytree_hint_depth_ = 0;
+  /// Latest update broadcast, cached for anti-entropy re-offers. Always at
+  /// the current epoch while set (cleared when the tree empties).
+  std::optional<wire::Envelope> keytree_update_env_;
 
   std::uint64_t relayed_ = 0;
   std::uint64_t data_since_rekey_ = 0;

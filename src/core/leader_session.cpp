@@ -47,6 +47,28 @@ Result<LeaderSession::HandleOutcome> LeaderSession::handle(
           out.duplicate_retransmit = true;
           return out;
         }
+        // Re-authentication supersession: a member whose ReqClose was lost
+        // (or that crashed) holds no session state yet the leader still
+        // does — without this clause the two would deadlock, the member
+        // re-offering fresh handshakes forever and the leader refusing
+        // them all. Only the member can mint a FRESH AuthInitReq under
+        // Pa; a replayed opener carries an N1 we already consumed.
+        if (auto plain = wire::open_sealed(aead_, pa_.view(), e)) {
+          auto payload = wire::decode_auth_init(*plain);
+          if (payload && payload->a == member_id_ &&
+              payload->l == leader_id_) {
+            if (seen_init_n1_.count(payload->n1))
+              return reject(Errc::stale, "AuthInitReq replayed",
+                            &RejectStats::stale);
+            close_session(/*fire_oops=*/true);
+            auto out = on_auth_init(e);
+            if (out) {
+              out->superseded = true;
+              out->closed = true;
+            }
+            return out;
+          }
+        }
         return reject(Errc::unexpected, "AuthInitReq while in session",
                       &RejectStats::bad_label);
       }
@@ -71,9 +93,18 @@ Result<LeaderSession::HandleOutcome> LeaderSession::handle(
                       &RejectStats::bad_label);
       return on_ack(e);
     case wire::Label::ReqClose:
-      if (state_ == State::not_connected)
+      if (state_ == State::not_connected) {
+        // Benign retransmit: the close that ended this session, re-sent on
+        // the member's budgeted fire-and-forget policy. Answer it
+        // idempotently; anything else against a closed slot is evidence.
+        if (last_req_close_seen_ && e == *last_req_close_seen_) {
+          HandleOutcome out;
+          out.duplicate_retransmit = true;
+          return out;
+        }
         return reject(Errc::unexpected, "ReqClose with no session",
                       &RejectStats::bad_label);
+      }
       return on_req_close(e);
     default:
       return reject(Errc::unexpected, "label not for leader",
@@ -96,6 +127,10 @@ Result<LeaderSession::HandleOutcome> LeaderSession::on_auth_init(
     return reject(Errc::identity_mismatch, "AuthInitReq identities",
                   &RejectStats::identity);
 
+  if (seen_init_n1_.count(payload->n1))
+    return reject(Errc::stale, "AuthInitReq replayed", &RejectStats::stale);
+  seen_init_n1_.insert(payload->n1);
+
   // Fresh challenge nonce N2 and fresh session key Ka.
   nl_ = crypto::ProtocolNonce::random(rng_);
   ka_ = crypto::SessionKey::random(rng_);
@@ -106,6 +141,7 @@ Result<LeaderSession::HandleOutcome> LeaderSession::on_auth_init(
                                  member_id_, wire::encode(payload_out));
   state_ = State::waiting_for_key_ack;
   last_auth_ack_seen_.reset();
+  last_req_close_seen_.reset();
   last_auth_init_seen_ = e;
   last_key_dist_sent_ = reply;
 
@@ -215,6 +251,7 @@ Result<LeaderSession::HandleOutcome> LeaderSession::on_req_close(
   // so possession of Ka is itself the freshness proof. A replay from an
   // earlier session fails to open under the current Ka.
 
+  last_req_close_seen_ = e;
   close_session(/*fire_oops=*/true);
   HandleOutcome out;
   out.closed = true;

@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,8 @@ class LeaderSession {
     bool authenticated = false;           // member just entered the group
     bool acked = false;                   // an AdminMsg was acknowledged
     bool closed = false;                  // session ended (ReqClose)
+    bool superseded = false;              // fresh re-auth replaced a stale
+                                          //   session (closed is also set)
     bool duplicate_retransmit = false;    // benign AuthAckKey replay answered
     // When `reply` is an AdminMsg drained from the queue, its body's
     // admin_kind_name (static storage); nullptr otherwise.
@@ -147,6 +150,16 @@ class LeaderSession {
   std::optional<wire::Envelope> last_auth_init_seen_;
   std::optional<wire::Envelope> last_key_dist_sent_;
   std::optional<wire::Envelope> last_auth_ack_seen_;
+  // ReqClose is fire-and-forget: the member re-sends it on a budgeted
+  // policy because no ack exists to stop it. The byte-identical duplicate
+  // of the close that ended THIS session is answered idempotently (it
+  // survives close_session, and a fresh handshake clears it).
+  std::optional<wire::Envelope> last_req_close_seen_;
+
+  // Every N1 ever accepted in an AuthInitReq: the replay fence that makes
+  // re-authentication supersession safe. Only the member can mint a fresh
+  // N1 under Pa; a captured old handshake opener dies here as stale.
+  std::set<crypto::ProtocolNonce> seen_init_n1_;
 
   std::vector<wire::AdminBody> snd_log_;
   std::uint64_t acked_count_ = 0;

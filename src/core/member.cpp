@@ -4,6 +4,7 @@
 #include "obs/security.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "wire/keytree.h"
 #include "wire/payloads.h"
 #include "wire/reconcile.h"
 #include "wire/seal.h"
@@ -61,6 +62,9 @@ void Member::drop_group_state() {
   view_.clear();
   next_seq_ = 0;
   last_seq_.clear();
+  keytree_.reset();
+  keytree_recover_env_.reset();
+  keytree_retry_.disarm();
 }
 
 Status Member::send_data(BytesView payload) {
@@ -96,6 +100,14 @@ void Member::handle(const wire::Envelope& e) {
     handle_reconcile_verdict(e);
     return;
   }
+  if (e.label == wire::Label::KeyTreeUpdate) {
+    handle_keytree_update(e);
+    return;
+  }
+  if (e.label == wire::Label::KeyTreePath) {
+    handle_keytree_path(e);
+    return;
+  }
 
   auto outcome = session_.handle(e);
   if (!outcome) {
@@ -115,7 +127,14 @@ void Member::handle(const wire::Envelope& e) {
     obs::trace(clock_.now(), obs::TraceKind::reanswer, leader_id_, id_,
                leader_id_, wire::label_name(e.label));
   }
-  if (outcome->reply && send_) send_(leader_id_, *outcome->reply);
+  // An Expelled notice ends the session on BOTH sides: the leader discarded
+  // Ka before this message was delivered, so the stop-and-wait Ack has no
+  // addressee — sending it would only land on the closed slot as an
+  // out-of-state Ack and be ledgered against us.
+  const bool terminal_admin =
+      outcome->admin && std::holds_alternative<wire::Expelled>(*outcome->admin);
+  if (outcome->reply && send_ && !terminal_admin)
+    send_(leader_id_, *outcome->reply);
   if (outcome->became_connected) {
     join_retry_.disarm();
     rejoin_retry_.disarm();
@@ -213,6 +232,12 @@ bool Member::apply_admin(const wire::AdminBody& body) {
           emit(ViewChanged{view()});
         } else if constexpr (std::is_same_v<T, wire::Notice>) {
           // surfaced via the AdminAccepted event only
+        } else if constexpr (std::is_same_v<T, wire::KeyTreeAssign>) {
+          // Tree-mode leader seated (or re-seated after growth) us on a
+          // leaf. No key material travels here: both sides derive the leaf
+          // KEK from the pairwise Ka locally.
+          keytree_.assign(b.leaf, session_.session_key(), id_);
+          obs::count(leader_id_, id_, "keytree_assigns_total");
         } else if constexpr (std::is_same_v<T, wire::Expelled>) {
           obs::count(leader_id_, id_, "expelled_total");
           obs::trace(clock_.now(), obs::TraceKind::leave, leader_id_, id_,
@@ -260,6 +285,10 @@ void Member::handle_group_data(const wire::Envelope& e) {
     // Sealed under some other epoch's key, or forged by a non-member.
     data_reject(obs::EvidenceKind::aead_open_failure,
                 "does not open under current Kg");
+    // Under a tree-mode leader this is also the missed-broadcast symptom:
+    // the group moved to an epoch whose update we lost. Ask for our path.
+    if (keytree_.assigned() && !keytree_recover_env_)
+      request_keytree_recovery();
     return;
   }
   auto payload = wire::decode_group_data(*plain);
@@ -303,6 +332,9 @@ void Member::enter_disconnected(const std::string& reason) {
   replay_sent_ = 0;
   verdict_epoch_ = 0;
   pending_replayed_ = 0;
+  keytree_.reset();  // the leaf KEK dies with Ka; rejoin re-seats us
+  keytree_recover_env_.reset();
+  keytree_retry_.disarm();
   join_retry_.disarm();
   rejoin_retry_.disarm();
   reconcile_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x0F7E);
@@ -429,6 +461,173 @@ void Member::handle_reconcile_verdict(const wire::Envelope& e) {
   }
 }
 
+void Member::install_keytree_epoch(const crypto::GroupKey& kg,
+                                   std::uint64_t epoch, bool authoritative) {
+  kg_ = kg;
+  epoch_ = epoch;
+  have_kg_ = true;
+  // An authoritative install (solicited KEY_TREE_PATH, sealed under the
+  // pairwise leaf KEK) may REWIND the floor: it is how a member desynced
+  // forward by a forged-but-confirmable in-subtree update rolls back to
+  // the leader's truth instead of fencing every honest epoch forever.
+  if (authoritative || epoch > epoch_floor_) epoch_floor_ = epoch;
+  last_seq_.clear();
+  next_seq_ = 0;
+  if (pending_replayed_ > 0) {
+    // Same fix-up as the NewGroupKey path: a fast rejoin's replayed ops
+    // already occupy seqs 0..n-1 under the verdict epoch.
+    if (epoch == verdict_epoch_) next_seq_ = pending_replayed_;
+    pending_replayed_ = 0;
+  }
+  keytree_recover_env_.reset();
+  keytree_retry_.disarm();
+  obs::count(leader_id_, id_, "rekeys_applied_total");
+  obs::trace(clock_.now(), obs::TraceKind::rekey, leader_id_, id_, leader_id_,
+             {}, epoch_);
+  emit(EpochChanged{epoch_});
+}
+
+void Member::handle_keytree_update(const wire::Envelope& e) {
+  auto reject = [this, &e](obs::EvidenceKind kind, const char* why,
+                           std::uint64_t value = 0) {
+    obs::count(leader_id_, id_, "keytree_rejects_total");
+    obs::security_event(clock_.now(), kind, leader_id_, id_, e.sender, why,
+                        value);
+  };
+  if (!connected() || !keytree_.assigned()) {
+    // A broadcast can legitimately race ahead of our KeyTreeAssign (or
+    // outlive our session); there is nothing to verify it against yet and
+    // the recovery path will catch us up once we are seated.
+    obs::count(leader_id_, id_, "keytree_unapplied_total");
+    return;
+  }
+  auto p = wire::decode_keytree_update(e.body);
+  if (!p) {
+    reject(obs::EvidenceKind::malformed, "malformed keytree update");
+    return;
+  }
+  if (p->l != leader_id_) {
+    reject(obs::EvidenceKind::identity_mismatch,
+           "keytree update claims wrong leader");
+    return;
+  }
+  // Unlike a fenced NewGroupKey (pairwise-authenticated, so a stale epoch
+  // proves a deposed leader and is worth dropping the session over), the
+  // update plane is an unauthenticated broadcast: anyone can replay an old
+  // one. Refuse quietly-but-ledgered and KEEP the session — closing it here
+  // would let one replayed capture evict any member at will.
+  if (have_kg_ && p->epoch <= epoch_) {
+    if (p->epoch < epoch_)  // same-epoch duplicate is routine loss recovery
+      reject(obs::EvidenceKind::stale_epoch,
+             "keytree update below our epoch", p->epoch);
+    return;
+  }
+  if (p->epoch < epoch_floor_) {
+    ++epochs_fenced_;
+    obs::count(leader_id_, id_, "epoch_fenced_total");
+    obs::trace(clock_.now(), obs::TraceKind::fence, leader_id_, id_, e.sender,
+               "stale_keytree_epoch", p->epoch);
+    reject(obs::EvidenceKind::epoch_fenced, "keytree update below floor",
+           p->epoch);
+    return;
+  }
+  auto res = keytree_.apply_update(aead_, *p, epoch_);
+  switch (res.outcome) {
+    case KeyTreeView::Outcome::applied:
+      note_activity();
+      obs::count(leader_id_, id_, "keytree_updates_applied_total");
+      install_keytree_epoch(res.kg, res.epoch, /*authoritative=*/false);
+      break;
+    case KeyTreeView::Outcome::stale:
+      break;  // raced with a newer install between the checks above
+    case KeyTreeView::Outcome::unreachable:
+      // We lack the carrier KEKs — an earlier broadcast was lost. Not
+      // evidence of wrongdoing; ask the leader for our current path.
+      obs::count(leader_id_, id_, "keytree_unreachable_total");
+      request_keytree_recovery();
+      break;
+    case KeyTreeView::Outcome::forged:
+      reject(obs::EvidenceKind::forged_keytree,
+             "keytree update fails confirmation", p->epoch);
+      break;
+  }
+}
+
+void Member::handle_keytree_path(const wire::Envelope& e) {
+  auto reject = [this, &e](obs::EvidenceKind kind, const char* why,
+                           std::uint64_t value = 0) {
+    obs::count(leader_id_, id_, "keytree_rejects_total");
+    obs::security_event(clock_.now(), kind, leader_id_, id_, e.sender, why,
+                        value);
+  };
+  if (!connected() || !keytree_.assigned()) {
+    reject(obs::EvidenceKind::bad_label, "keytree path without a leaf");
+    return;
+  }
+  auto plain = wire::open_sealed(aead_, keytree_.leaf_kek().view(), e);
+  if (!plain) {
+    reject(obs::EvidenceKind::aead_open_failure,
+           "keytree path does not open under leaf KEK");
+    return;
+  }
+  auto p = wire::decode_keytree_path(*plain);
+  if (!p) {
+    reject(obs::EvidenceKind::malformed, "malformed keytree path");
+    return;
+  }
+  if (p->l != leader_id_ || p->a != id_) {
+    reject(obs::EvidenceKind::identity_mismatch,
+           "keytree path identity mismatch");
+    return;
+  }
+  std::optional<crypto::ProtocolNonce> expect;
+  if (keytree_recover_env_) expect = keytree_nonce_;
+  const bool solicited = expect && p->nr == *expect;
+  auto res = keytree_.apply_path(*p, epoch_, expect);
+  switch (res.outcome) {
+    case KeyTreeView::Outcome::applied:
+      note_activity();
+      obs::count(leader_id_, id_, "keytree_paths_applied_total");
+      obs::trace(clock_.now(), obs::TraceKind::keytree_recover, leader_id_,
+                 id_, leader_id_, solicited ? "healed" : "seeded", res.epoch);
+      if (have_kg_ && res.epoch == epoch_) {
+        // Same-epoch refresh: apply_path already (re)installed the path
+        // KEKs; Kg, the sequence space and the floor are untouched.
+        keytree_recover_env_.reset();
+        keytree_retry_.disarm();
+        break;
+      }
+      install_keytree_epoch(res.kg, res.epoch, solicited);
+      break;
+    case KeyTreeView::Outcome::stale:
+      // An unsolicited path at an older epoch: replay bait.
+      reject(obs::EvidenceKind::stale_epoch, "stale keytree path", p->epoch);
+      break;
+    case KeyTreeView::Outcome::unreachable:
+      break;  // cannot happen once assigned; defensive
+    case KeyTreeView::Outcome::forged:
+      reject(obs::EvidenceKind::forged_keytree,
+             "keytree path fails confirmation", p->epoch);
+      break;
+  }
+}
+
+void Member::request_keytree_recovery() {
+  if (!connected() || !keytree_.assigned() || keytree_recover_env_) return;
+  keytree_nonce_ = crypto::ProtocolNonce::random(rng_);
+  wire::KeyTreeRecoverPayload body{id_, leader_id_, keytree_nonce_,
+                                   have_kg_ ? epoch_ : 0};
+  keytree_recover_env_ = wire::make_sealed(
+      aead_, keytree_.leaf_kek().view(), rng_, wire::Label::KeyTreeRecover,
+      id_, leader_id_, wire::encode(body));
+  keytree_retry_.arm(clock_.now(), stable_salt(id_) ^ 0x7EE5);
+  obs::count(leader_id_, id_, "keytree_recover_requests_total");
+  obs::trace(clock_.now(), obs::TraceKind::keytree_recover, leader_id_, id_,
+             leader_id_, "request", epoch_);
+  if (send_) send_(leader_id_, *keytree_recover_env_);
+  keytree_retry_.record_attempt(clock_.now(), keytree_retry_policy_);
+}
+
 std::size_t Member::tick() {
   clock_.advance();
   const Tick now = clock_.now();
@@ -521,6 +720,27 @@ std::size_t Member::tick() {
       }
       if (send_) send_(leader_id_, *reconcile_env_);
       reconcile_retry_.record_attempt(now, reconcile_policy_);
+      ++sent;
+    }
+  }
+
+  // Key-tree path recovery: retransmit the cached KEY_TREE_RECOVER
+  // byte-identically until the path lands (install clears it) or the
+  // budget runs out — a lost answer is re-answered idempotently.
+  if (keytree_recover_env_) {
+    if (!connected() || !keytree_.assigned()) {
+      keytree_recover_env_.reset();
+      keytree_retry_.disarm();
+    } else if (keytree_retry_.exhausted(keytree_retry_policy_)) {
+      keytree_recover_env_.reset();
+      keytree_retry_.disarm();
+      obs::count(leader_id_, id_, "exchanges_abandoned_total");
+    } else if (keytree_retry_.due(now, keytree_retry_policy_)) {
+      obs::count(leader_id_, id_, "retransmits_total");
+      obs::trace(now, obs::TraceKind::retransmit, leader_id_, id_, leader_id_,
+                 wire::label_name(keytree_recover_env_->label));
+      if (send_) send_(leader_id_, *keytree_recover_env_);
+      keytree_retry_.record_attempt(now, keytree_retry_policy_);
       ++sent;
     }
   }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/events.h"
+#include "core/keytree.h"
 #include "core/member_session.h"
 #include "core/oplog.h"
 #include "core/retry.h"
@@ -88,6 +89,16 @@ class Member {
 
   /// True while operating partitioned with retained group state.
   bool disconnected() const { return disconnected_mode_; }
+
+  /// Retransmission schedule for KEY_TREE_RECOVER requests (default: every
+  /// tick, unlimited). Only relevant under a tree-mode leader.
+  void set_keytree_recover_policy(RetryPolicy policy) {
+    keytree_retry_policy_ = policy;
+  }
+
+  /// This member's key-tree view (leaf slot + path KEKs); empty/unassigned
+  /// under a flat-mode leader.
+  const KeyTreeView& keytree() const { return keytree_; }
 
   /// Ops queued for replay (0 outside disconnected mode).
   std::uint64_t oplog_depth() const { return oplog_.size(); }
@@ -164,6 +175,15 @@ class Member {
   bool apply_admin(const wire::AdminBody& body);
   void handle_group_data(const wire::Envelope& e);
   void handle_reconcile_verdict(const wire::Envelope& e);
+  void handle_keytree_update(const wire::Envelope& e);
+  void handle_keytree_path(const wire::Envelope& e);
+  void request_keytree_recovery();
+  /// Commits a key-tree rekey: installs Kg/epoch, restarts the sequence
+  /// space, settles any pending recovery. `authoritative` = the install
+  /// came over the pairwise recovery channel and may move the epoch (and
+  /// its floor) backwards to the leader's truth.
+  void install_keytree_epoch(const crypto::GroupKey& kg, std::uint64_t epoch,
+                             bool authoritative);
   void enter_disconnected(const std::string& reason);
   void build_reconcile_offer();
   void send_next_op();
@@ -230,6 +250,15 @@ class Member {
   std::uint64_t replay_sent_ = 0;    // highest op seq handed to the wire
   std::uint64_t verdict_epoch_ = 0;  // leader epoch inside the admit
   std::uint64_t pending_replayed_ = 0;  // next_seq_ fix-up after fast rejoin
+
+  // Key-tree rekey plane (core/keytree.h, PROTOCOL.md §13). The view is
+  // armed by the first KeyTreeAssign admin body; the recovery envelope is
+  // cached for byte-identical retransmission until the path lands.
+  KeyTreeView keytree_;
+  RetryPolicy keytree_retry_policy_ = RetryPolicy::every_tick();
+  RetryState keytree_retry_;
+  crypto::ProtocolNonce keytree_nonce_;
+  std::optional<wire::Envelope> keytree_recover_env_;
 
   // HA failover (PROTOCOL.md §11). epoch_floor_ deliberately survives
   // drop_group_state(): the fence must hold across suspicion, expulsion and

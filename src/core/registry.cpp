@@ -13,7 +13,9 @@ constexpr std::uint32_t kMagic = 0x454E4352;  // "ENCR"
 constexpr std::uint16_t kVersion = 1;
 constexpr std::uint32_t kMaxEntries = 1 << 20;
 constexpr std::uint32_t kSnapshotMagic = 0x454E4353;  // "ENCS"
-constexpr std::uint16_t kSnapshotVersion = 1;
+// v2 appends the key-tree slot map (PROTOCOL.md §13); v1 files still load.
+constexpr std::uint16_t kSnapshotVersion = 2;
+constexpr std::uint32_t kMaxSlots = 1 << 21;
 }  // namespace
 
 Status Registry::add(Credential credential) {
@@ -114,6 +116,12 @@ Bytes LeaderSnapshot::serialize(BytesView storage_key) const {
   w.u16(kSnapshotVersion);
   w.u64(epoch);
   w.var_bytes(registry.serialize(storage_key));
+  w.u32(keytree_depth);
+  w.u32(static_cast<std::uint32_t>(keytree_slots.size()));
+  for (const auto& [id, leaf] : keytree_slots) {
+    w.str(id);
+    w.u32(leaf);
+  }
   Bytes out = std::move(w).take();
   auto tag = crypto::HmacSha256::mac(storage_key, out);
   out.insert(out.end(), tag.begin(), tag.end());
@@ -134,22 +142,44 @@ Result<LeaderSnapshot> LeaderSnapshot::deserialize(BytesView data,
   if (!magic || *magic != kSnapshotMagic)
     return make_error(Errc::malformed, "bad snapshot magic");
   auto version = r.u16();
-  if (!version || *version != kSnapshotVersion)
+  if (!version || *version < 1 || *version > kSnapshotVersion)
     return make_error(Errc::malformed, "unsupported snapshot version");
   auto epoch = r.u64();
   if (!epoch) return epoch.error();
   auto reg_blob = r.var_bytes();
   if (!reg_blob) return reg_blob.error();
+
+  LeaderSnapshot snap;
+  snap.epoch = *epoch;
+  if (*version >= 2) {
+    auto depth = r.u32();
+    if (!depth) return depth.error();
+    auto count = r.u32();
+    if (!count) return count.error();
+    if (*count > kMaxSlots)
+      return make_error(Errc::oversized, "keytree slot count");
+    snap.keytree_depth = *depth;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto id = r.str();
+      if (!id) return id.error();
+      auto leaf = r.u32();
+      if (!leaf) return leaf.error();
+      snap.keytree_slots.emplace(*std::move(id), *leaf);
+    }
+  }
   if (auto end = r.expect_end(); !end) return end.error();
 
   auto reg = Registry::deserialize(*reg_blob, storage_key);
   if (!reg) return reg.error();
-  return LeaderSnapshot{*std::move(reg), *epoch};
+  snap.registry = *std::move(reg);
+  return snap;
 }
 
 std::size_t LeaderSnapshot::install(Leader& leader) const {
   std::size_t installed = registry.install(leader);
   leader.set_epoch_floor(epoch);
+  if (!keytree_slots.empty())
+    leader.set_keytree_hints(keytree_slots, keytree_depth);
   return installed;
 }
 

@@ -82,6 +82,14 @@ class Registry {
 struct LeaderSnapshot {
   Registry registry;
   std::uint64_t epoch = 0;
+  /// Key-tree leaf-slot assignments at snapshot time (tree-mode leaders
+  /// only; empty otherwise). Leaf KEKs die with their sessions by design,
+  /// so the slots are REJOIN HINTS: a restarted leader re-seats returning
+  /// members in their old subtrees, keeping post-recovery rotations
+  /// congruent with pre-crash ones. Serialized from format v2 on; a v1
+  /// snapshot simply restores with no hints.
+  std::uint32_t keytree_depth = 0;
+  std::map<std::string, std::uint32_t> keytree_slots;
 
   /// Versioned binary format, HMAC-SHA256-sealed under `storage_key` (the
   /// nested registry blob carries its own MAC as well).

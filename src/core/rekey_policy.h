@@ -6,14 +6,25 @@
 
 namespace enclaves::core {
 
+/// How a rekey is distributed.
+///   flat — re-seal Kg once per member over the stop-and-wait admin channel
+///          (the paper's literal protocol; O(N) seals and exchanges).
+///   tree — LKH-style logical key hierarchy (core/keytree.h): rotate the
+///          O(log N) KEKs on the affected path and broadcast ONE update.
+/// The flat path stays the differential-testing oracle for the tree
+/// (tests/keytree_differential_test.cpp).
+enum class RekeyAlgo : std::uint8_t { flat, tree };
+
 struct RekeyPolicy {
   bool on_join = true;    // fresh Kg whenever a member is admitted
   bool on_leave = true;   // fresh Kg whenever a member leaves or is expelled
   /// Rekey after this many relayed data messages (0 = disabled).
   std::uint64_t every_n_messages = 0;
+  RekeyAlgo algo = RekeyAlgo::flat;
 
-  static RekeyPolicy strict() { return {true, true, 0}; }
-  static RekeyPolicy manual() { return {false, false, 0}; }
+  static RekeyPolicy strict() { return {true, true, 0, RekeyAlgo::flat}; }
+  static RekeyPolicy manual() { return {false, false, 0, RekeyAlgo::flat}; }
+  static RekeyPolicy tree() { return {true, true, 0, RekeyAlgo::tree}; }
 };
 
 }  // namespace enclaves::core

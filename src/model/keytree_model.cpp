@@ -1,0 +1,180 @@
+#include "model/keytree_model.h"
+
+namespace enclaves::model {
+
+KeyTreeModel::KeyTreeModel(FieldPool& pool, std::uint32_t depth,
+                           KeyTreeWeakness weakness)
+    : pool_(&pool), depth_(depth), weakness_(weakness) {
+  kek_.assign(std::size_t{2} << depth_, kNoField);
+}
+
+bool KeyTreeModel::full() const { return leaf_of_.size() >= capacity(); }
+
+bool KeyTreeModel::is_member(std::int32_t member) const {
+  return leaf_of_.count(member) > 0;
+}
+
+bool KeyTreeModel::live(std::uint32_t node) const {
+  if (node >= kek_.size()) return false;
+  if (node >= capacity()) {  // leaf: live iff occupied
+    for (const auto& [m, leaf] : leaf_of_)
+      if (leaf == node) return true;
+    return false;
+  }
+  return live(2 * node) || live(2 * node + 1);
+}
+
+FieldId KeyTreeModel::fresh_kek() {
+  FieldId k = pool_->session_key(next_serial_++);
+  minted_.emplace_back(k, epoch_);
+  return k;
+}
+
+FieldId KeyTreeModel::group_key_at(std::uint64_t e) const {
+  auto it = kg_.find(e);
+  return it == kg_.end() ? kNoField : it->second;
+}
+
+FieldId KeyTreeModel::root_kek() const { return kek_[1]; }
+
+FieldId KeyTreeModel::leaf_kek(std::int32_t member) const {
+  auto it = leaf_kek_.find(member);
+  return it == leaf_kek_.end() ? kNoField : it->second;
+}
+
+void KeyTreeModel::rotate_upward(std::uint32_t node) {
+  // Bottom-up: rotate `node`'s parent chain; each rotated node's new KEK is
+  // broadcast under every live child's CURRENT key — which, for the child
+  // rotated one step earlier, is already the fresh one (the implementation's
+  // learned-carrier rule; this is what locks an evictee out of the chain).
+  for (std::uint32_t p = node / 2; p >= 1; p /= 2) {
+    FieldId fresh;
+    if (weakness_ == KeyTreeWeakness::reuse_sibling_kek && kek_[p] != kNoField)
+      fresh = kek_[p];  // classic mistake: the "new" KEK is the old one
+    else
+      fresh = fresh_kek();
+    for (std::uint32_t c : {2 * p, 2 * p + 1}) {
+      if (!live(c)) continue;
+      FieldId carrier = c >= capacity() ? kNoField : kek_[c];
+      if (c >= capacity()) {
+        // Leaf carrier: the occupant's pairwise leaf KEK.
+        for (const auto& [m, leaf] : leaf_of_)
+          if (leaf == c) carrier = leaf_kek_.at(m);
+      }
+      if (carrier != kNoField)
+        trace_.insert(pool_->enc(fresh, carrier));
+    }
+    kek_[p] = fresh;
+    if (p == 1) break;
+  }
+}
+
+void KeyTreeModel::mint_group_key() {
+  FieldId kg = pool_->session_key(next_serial_++);
+  minted_.emplace_back(kg, epoch_);
+  kg_[epoch_] = kg;
+  // Kg is HKDF(root, epoch): holding the root key IS holding Kg.
+  trace_.insert(pool_->enc(kg, kek_[1]));
+}
+
+void KeyTreeModel::send_path(std::int32_t member) {
+  // KEY_TREE_PATH: the full root-to-leaf path sealed under the leaf KEK.
+  std::vector<FieldId> path;
+  for (std::uint32_t n = leaf_of_.at(member) / 2; n >= 1; n /= 2) {
+    if (kek_[n] != kNoField) path.push_back(kek_[n]);
+    if (n == 1) break;
+  }
+  if (!path.empty())
+    trace_.insert(pool_->enc(pool_->tuple(path), leaf_kek_.at(member)));
+}
+
+void KeyTreeModel::join(std::int32_t member) {
+  if (is_member(member) || full()) return;
+  std::uint32_t leaf = 0;
+  for (std::uint32_t n = capacity(); n < 2 * capacity(); ++n) {
+    bool taken = false;
+    for (const auto& [m, l] : leaf_of_)
+      if (l == n) taken = true;
+    if (!taken) {
+      leaf = n;
+      break;
+    }
+  }
+  leaf_of_[member] = leaf;
+  if (!leaf_kek_.count(member)) {
+    // Pairwise leaf KEK: derived from Ka, never broadcast. A REJOINING
+    // evictee gets a FRESH one (new session, new Ka) — its old leaf KEK
+    // opens nothing minted after the expulsion.
+    leaf_kek_[member] = pool_->session_key(next_serial_++);
+    all_leaf_keks_[member].push_back(leaf_kek_[member]);
+  }
+  ++epoch_;
+  rotate_upward(leaf);
+  mint_group_key();
+  send_path(member);
+}
+
+void KeyTreeModel::expel(std::int32_t member) {
+  if (!is_member(member)) return;
+  const std::uint32_t leaf = leaf_of_.at(member);
+  leaf_of_.erase(member);
+  // The evictee keeps its leaf KEK forever (all_leaf_keks_) — knowledge(),
+  // not membership, models the paper's dishonest past member. The CURRENT
+  // mapping is dropped so a future rejoin mints a fresh one (see join()).
+  leaf_kek_.erase(member);
+  ++epoch_;
+  if (weakness_ != KeyTreeWeakness::skip_expel_rotation) rotate_upward(leaf);
+  mint_group_key();
+}
+
+void KeyTreeModel::manual_rekey() {
+  if (leaf_of_.empty()) return;
+  ++epoch_;
+  // Root-only rotation (the implementation's rotate_root).
+  FieldId fresh = weakness_ == KeyTreeWeakness::reuse_sibling_kek &&
+                          kek_[1] != kNoField
+                      ? kek_[1]
+                      : fresh_kek();
+  for (std::uint32_t c : {2u, 3u}) {
+    if (!live(c)) continue;
+    if (c < capacity() && kek_[c] != kNoField) {
+      trace_.insert(pool_->enc(fresh, kek_[c]));
+    } else if (c >= capacity()) {
+      for (const auto& [m, leaf] : leaf_of_)
+        if (leaf == c) trace_.insert(pool_->enc(fresh, leaf_kek_.at(m)));
+    }
+  }
+  kek_[1] = fresh;
+  mint_group_key();
+}
+
+FieldSet KeyTreeModel::knowledge(std::int32_t member) const {
+  FieldSet base = trace_;
+  // A dishonest member never forgets: every leaf KEK it EVER held (current
+  // session or any evicted past one) seeds its analysis.
+  if (auto it = all_leaf_keks_.find(member); it != all_leaf_keks_.end())
+    for (FieldId k : it->second) base.insert(k);
+  return analz(*pool_, base);
+}
+
+FieldSet KeyTreeModel::outsider_knowledge() const {
+  return analz(*pool_, trace_);
+}
+
+std::vector<FieldId> KeyTreeModel::secrets_after(std::uint64_t e) const {
+  std::vector<FieldId> out;
+  for (const auto& [field, mint_epoch] : minted_)
+    if (mint_epoch > e) out.push_back(field);
+  return out;
+}
+
+FieldId first_reachable_secret(const FieldPool& pool,
+                               const FieldSet& evictee_knowledge,
+                               const std::vector<FieldId>& secrets) {
+  (void)pool;
+  for (FieldId s : secrets)
+    if (evictee_knowledge.contains(s)) return s;
+  return kNoField;
+}
+
+}  // namespace enclaves::model

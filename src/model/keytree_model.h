@@ -1,0 +1,124 @@
+// Symbolic LKH key-tree model (PROTOCOL.md §13) in the Section 4 field
+// algebra: the tree-rekey transition system with every broadcast recorded
+// as trace fields, so the expel guarantee becomes a Dolev-Yao closure
+// question instead of a cryptographic one.
+//
+// Each KEK and each epoch's group key Kg is a symbolic session key; each
+// member's leaf KEK is pairwise with the leader (HKDF from Ka — it never
+// occurs on the wire, so it enters the model as a member-knowledge atom,
+// not a trace field). Every rotation appends exactly the fields the real
+// broadcast carries:
+//
+//   {KEK'_p}_{KEK_c}   per live child c of each rotated node p
+//                      (c's key is the POST-rotation one when c itself was
+//                      rotated in the same update — the implementation's
+//                      bottom-up "learned carrier" rule);
+//   {Kg_e}_{KEK_root}  the epoch key derivation — anyone holding the root
+//                      computes Kg, nobody else does;
+//   {[path]}_{leaf}    the KEY_TREE_PATH seeding a joiner (or healing a
+//                      member), sealed under its leaf KEK.
+//
+// The evicted-member invariant (the tentpole security claim): a member
+// expelled at epoch e keeps everything it ever held — its leaf KEK and the
+// whole public trace — yet Analz must not reach ANY post-expel KEK, nor
+// any Kg_e' with e' > e. The dual completeness claim keeps the model
+// honest: every CURRENT member's {leaf KEK} ∪ trace must reach the current
+// Kg (a model that proves secrecy by never delivering keys proves nothing).
+//
+// `Weakness` knobs re-introduce the classic LKH mistakes (skipping the
+// path rotation on expel; reusing a sibling's KEK instead of re-keying the
+// parent) so the test suite can verify the invariant actually CATCHES
+// them — a mirror of tests/keytree_attacks_test.cpp at the symbolic level.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/closure.h"
+#include "model/field.h"
+
+namespace enclaves::model {
+
+/// Deliberate protocol mutations for self-validation of the invariant.
+enum class KeyTreeWeakness : std::uint8_t {
+  none = 0,
+  skip_expel_rotation,  // expel prunes the leaf but rotates nothing
+  reuse_sibling_kek,    // "rotation" re-deals the old KEK as the new one
+};
+
+class KeyTreeModel {
+ public:
+  /// `depth` >= 1 (capacity = 2^depth leaves), exactly as the concrete
+  /// KeyTree. Member indices are dense [0, n).
+  KeyTreeModel(FieldPool& pool, std::uint32_t depth,
+               KeyTreeWeakness weakness = KeyTreeWeakness::none);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint32_t depth() const { return depth_; }
+  bool full() const;
+  bool is_member(std::int32_t member) const;
+  std::size_t member_count() const { return leaf_of_.size(); }
+
+  /// Transitions. Each bumps the epoch, mints fresh symbolic KEKs along the
+  /// affected path, and appends the broadcast fields to the trace.
+  void join(std::int32_t member);
+  void expel(std::int32_t member);
+  void manual_rekey();
+
+  /// The group key minted at `e` (kNoField if no such epoch yet).
+  FieldId group_key_at(std::uint64_t e) const;
+  FieldId current_group_key() const { return group_key_at(epoch_); }
+  FieldId root_kek() const;
+  FieldId leaf_kek(std::int32_t member) const;
+
+  /// Everything `member` can derive: Analz(trace ∪ {its leaf KEK}). For an
+  /// evicted member this is its post-expulsion attack power (it keeps the
+  /// leaf KEK and the public trace forever).
+  FieldSet knowledge(std::int32_t member) const;
+
+  /// Outsider power: Analz(trace) alone.
+  FieldSet outsider_knowledge() const;
+
+  const FieldSet& trace() const { return trace_; }
+
+  /// All KEKs minted at epochs strictly after `e` plus all Kg minted after
+  /// `e` — the set an evictee at `e` must never reach.
+  std::vector<FieldId> secrets_after(std::uint64_t e) const;
+
+ private:
+  std::uint32_t capacity() const { return 1u << depth_; }
+  bool live(std::uint32_t node) const;
+  FieldId fresh_kek();
+  /// Rotates `node` and every ancestor, appending broadcast fields.
+  void rotate_upward(std::uint32_t node);
+  void mint_group_key();
+  void send_path(std::int32_t member);
+
+  FieldPool* pool_;
+  std::uint32_t depth_;
+  KeyTreeWeakness weakness_;
+  std::uint64_t epoch_ = 0;
+  std::int32_t next_serial_ = 1000;  // symbolic-key serials (kek + kg)
+
+  std::vector<FieldId> kek_;              // heap-indexed; kNoField = dead
+  std::map<std::int32_t, std::uint32_t> leaf_of_;
+  std::map<std::int32_t, FieldId> leaf_kek_;  // pairwise, off-wire (current)
+  /// Every leaf KEK a member EVER held — a dishonest evictee keeps them.
+  std::map<std::int32_t, std::vector<FieldId>> all_leaf_keks_;
+  std::map<std::uint64_t, FieldId> kg_;       // epoch -> Kg field
+  /// Every (field, mint-epoch) ever created, for secrets_after().
+  std::vector<std::pair<FieldId, std::uint64_t>> minted_;
+  FieldSet trace_;
+};
+
+/// Checks the evicted-member invariant for one evictee: none of
+/// secrets_after(evict_epoch) is analyzable from `evictee_knowledge`.
+/// Returns the first violating field, or kNoField when the invariant holds.
+FieldId first_reachable_secret(const FieldPool& pool,
+                               const FieldSet& evictee_knowledge,
+                               const std::vector<FieldId>& secrets);
+
+}  // namespace enclaves::model

@@ -27,6 +27,7 @@ std::string_view evidence_kind_name(EvidenceKind kind) {
     case EvidenceKind::bad_label: return "bad_label";
     case EvidenceKind::malformed: return "malformed";
     case EvidenceKind::forged_oplog: return "forged_oplog";
+    case EvidenceKind::forged_keytree: return "forged_keytree";
   }
   return "unknown";
 }
@@ -48,6 +49,7 @@ std::string_view evidence_metric_name(EvidenceKind kind) {
     case EvidenceKind::bad_label: return "refusals_bad_label_total";
     case EvidenceKind::malformed: return "refusals_malformed_total";
     case EvidenceKind::forged_oplog: return "refusals_forged_oplog_total";
+    case EvidenceKind::forged_keytree: return "refusals_forged_keytree_total";
   }
   return "refusals_unknown_total";
 }

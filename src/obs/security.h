@@ -52,6 +52,8 @@ enum class EvidenceKind : std::uint8_t {
   malformed,          // undecodable body inside an authentic-looking frame
   forged_oplog,       // reconciliation replay broke the op-log HMAC chain
                       //   (forged, reordered, or epoch-shifted queued op)
+  forged_keytree,     // key-tree update/path with inconsistent entries or a
+                      //   confirmation tag the leader never issued
 };
 
 /// Stable lowercase name for JSONL export and metric names.

@@ -15,6 +15,7 @@ std::string_view span_kind_name(SpanKind kind) {
     case SpanKind::admin_exchange: return "admin_exchange";
     case SpanKind::rekey: return "rekey";
     case SpanKind::rekey_delivery: return "rekey_delivery";
+    case SpanKind::rekey_level: return "rekey_level";
     case SpanKind::failover: return "failover";
     case SpanKind::reconcile: return "reconcile";
   }
@@ -160,6 +161,22 @@ struct Builder {
     }
   }
 
+  void on_keytree_level(const TraceEvent& e) {
+    // One tree level rotated by the leader while minting epoch `value`;
+    // child of that epoch's rekey span (which note_rekey opened first).
+    const Key key{e.group, std::to_string(e.value)};
+    Span& child = open(SpanKind::rekey_level, e);
+    child.detail = e.detail;  // "lvl<k>", deepest first
+    child.value = e.value;
+    child.complete = true;
+    add_participant(child, e.agent);
+    if (auto it = open_rekeys.find(key); it != open_rekeys.end()) {
+      Span& parent = spans[it->second];
+      child.parent = parent.id;
+      parent.end = std::max(parent.end, e.tick);
+    }
+  }
+
   void on_suspect(const TraceEvent& e) {
     if (e.group == "ha") {
       Span& s = open(SpanKind::failover, e);
@@ -291,6 +308,7 @@ std::vector<Span> SpanTracker::build(const std::vector<TraceEvent>& events) {
       case TraceKind::retransmit:
       case TraceKind::reanswer: b.on_retry(e); break;
       case TraceKind::rekey: b.on_rekey(e); break;
+      case TraceKind::keytree_level: b.on_keytree_level(e); break;
       case TraceKind::suspect: b.on_suspect(e); break;
       case TraceKind::promote: b.on_promote(e); break;
       case TraceKind::rejoin: b.on_rejoin(e); break;

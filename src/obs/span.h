@@ -17,6 +17,9 @@
 //   rekey          leader rekey (Kg mint, value = epoch) .. last member
 //                  apply; each member's apply is a rekey_delivery child
 //   rekey_delivery one member applying one epoch (child of its rekey span)
+//   rekey_level    one key-tree level rotated inside a tree-mode rekey
+//                  (keytree_level events; child of the epoch's rekey span,
+//                  detail "lvl<k>", deepest level first)
 //   failover       ha suspect .. promote .. members re-joined the promoted
 //                  leader (those join spans become children of the failover)
 //   reconcile      member disconnect .. terminal reconcile verdict on the
@@ -45,6 +48,7 @@ enum class SpanKind : std::uint8_t {
   admin_exchange,
   rekey,
   rekey_delivery,
+  rekey_level,
   failover,
   reconcile,
 };

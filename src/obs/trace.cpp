@@ -43,6 +43,8 @@ std::string_view trace_kind_name(TraceKind kind) {
     case TraceKind::reconcile_verdict: return "reconcile_verdict";
     case TraceKind::op_replay: return "op_replay";
     case TraceKind::fault_partition: return "fault_partition";
+    case TraceKind::keytree_level: return "keytree_level";
+    case TraceKind::keytree_recover: return "keytree_recover";
   }
   return "unknown";
 }

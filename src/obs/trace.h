@@ -67,6 +67,12 @@ enum class TraceKind : std::uint8_t {
                       //   (value: seq)
   fault_partition,    // injector partition cut or healed (detail: cut|heal,
                       //   value: island size)
+
+  // Key-tree rekey plane (core/keytree.h, PROTOCOL.md §13).
+  keytree_level,    // leader rotated one tree level during a rekey
+                    //   (detail: "lvl<k>", value: the new epoch)
+  keytree_recover,  // member asked for / leader answered a path recovery
+                    //   (detail: request|answer, value: epoch held/sent)
 };
 
 /// Stable lowercase name for JSONL export and chart rendering.

@@ -13,6 +13,7 @@ enum class Tag : std::uint8_t {
   member_list = 4,
   notice = 5,
   expelled = 6,
+  keytree_assign = 7,
 };
 
 constexpr std::uint32_t kMaxMembers = 1 << 16;
@@ -44,6 +45,10 @@ Bytes encode(const AdminBody& body) {
         } else if constexpr (std::is_same_v<T, Expelled>) {
           w.u8(static_cast<std::uint8_t>(Tag::expelled));
           w.str(b.reason);
+        } else if constexpr (std::is_same_v<T, KeyTreeAssign>) {
+          w.u8(static_cast<std::uint8_t>(Tag::keytree_assign));
+          w.u32(b.leaf);
+          w.u32(b.depth);
         }
       },
       body);
@@ -104,6 +109,14 @@ Result<AdminBody> decode_admin_body(BytesView raw) {
       if (auto end = r.expect_end(); !end) return end.error();
       return AdminBody(Expelled{*std::move(t)});
     }
+    case Tag::keytree_assign: {
+      auto leaf = r.u32();
+      if (!leaf) return leaf.error();
+      auto depth = r.u32();
+      if (!depth) return depth.error();
+      if (auto end = r.expect_end(); !end) return end.error();
+      return AdminBody(KeyTreeAssign{*leaf, *depth});
+    }
   }
   return make_error(Errc::malformed, "unknown admin body tag");
 }
@@ -127,6 +140,8 @@ std::string describe(const AdminBody& body) {
           return s + ")";
         } else if constexpr (std::is_same_v<T, Notice>) {
           return "Notice(" + b.text + ")";
+        } else if constexpr (std::is_same_v<T, KeyTreeAssign>) {
+          return "KeyTreeAssign(leaf=" + std::to_string(b.leaf) + ")";
         } else {
           return "Expelled(" + b.reason + ")";
         }
@@ -148,6 +163,8 @@ const char* admin_kind_name(const AdminBody& body) {
           return "member_list";
         } else if constexpr (std::is_same_v<T, Notice>) {
           return "notice";
+        } else if constexpr (std::is_same_v<T, KeyTreeAssign>) {
+          return "keytree_assign";
         } else {
           return "expelled";
         }

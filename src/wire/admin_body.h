@@ -58,8 +58,20 @@ struct Expelled {
   friend bool operator==(const Expelled&, const Expelled&) = default;
 };
 
+/// Key-tree leaf assignment (PROTOCOL.md §13): tells a freshly authenticated
+/// member which leaf slot it occupies in the leader's key hierarchy. Travels
+/// on the authenticated admin channel, so the assignment carries the
+/// leader-origin and freshness guarantees of §3.2; the member derives its
+/// leaf KEK locally from the session key Ka (HKDF), so no key material
+/// rides in this message at all.
+struct KeyTreeAssign {
+  std::uint32_t leaf = 0;   // heap index of the member's leaf node
+  std::uint32_t depth = 0;  // tree depth the index lives in
+  friend bool operator==(const KeyTreeAssign&, const KeyTreeAssign&) = default;
+};
+
 using AdminBody = std::variant<NewGroupKey, MemberJoined, MemberLeft,
-                               MemberList, Notice, Expelled>;
+                               MemberList, Notice, Expelled, KeyTreeAssign>;
 
 Bytes encode(const AdminBody& body);
 Result<AdminBody> decode_admin_body(BytesView raw);

@@ -32,6 +32,9 @@ const char* label_name(Label label) {
     case Label::ReconcileOffer: return "ReconcileOffer";
     case Label::ReconcileVerdict: return "ReconcileVerdict";
     case Label::OpReplay: return "OpReplay";
+    case Label::KeyTreeUpdate: return "KeyTreeUpdate";
+    case Label::KeyTreeRecover: return "KeyTreeRecover";
+    case Label::KeyTreePath: return "KeyTreePath";
   }
   return "?";
 }
@@ -64,6 +67,9 @@ bool is_known_label(std::uint8_t raw) {
     case Label::ReconcileOffer:
     case Label::ReconcileVerdict:
     case Label::OpReplay:
+    case Label::KeyTreeUpdate:
+    case Label::KeyTreeRecover:
+    case Label::KeyTreePath:
       return true;
   }
   return false;

@@ -56,6 +56,14 @@ enum class Label : std::uint8_t {
   ReconcileOffer = 112,    // member -> leader: fence epoch + op-log head
   ReconcileVerdict = 113,  // leader -> member: admit/quarantine/intrusion
   OpReplay = 114,          // member -> leader: one chained queued op
+
+  // Key-tree rekey plane (LKH-style logical key hierarchy; entries sealed
+  // under subtree KEKs — see wire/keytree.h, core/keytree.h and
+  // PROTOCOL.md §13). Replaces the flat per-member NewGroupKey fan-out
+  // when RekeyPolicy selects the tree algorithm.
+  KeyTreeUpdate = 120,   // leader -> group: one O(log N) path rotation
+  KeyTreeRecover = 121,  // member -> leader: "cannot reach the new root"
+  KeyTreePath = 122,     // leader -> member: full path under the leaf KEK
 };
 
 /// Stable label name for logs and attack narration.

@@ -9,10 +9,12 @@
 // diff against the golden chart.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/leader.h"
 #include "core/member.h"
@@ -254,6 +256,219 @@ TEST(GoldenTrace, FailoverCrashSuspicionPromotionRejoin) {
 
 // Determinism: the same scenario under the same seed yields a byte-identical
 // chart — the property that makes golden-trace diffs trustworthy in CI.
+// Tree-mode rekey at group scale (PROTOCOL.md §13): a 16-member group in
+// tree mode, deep enough (depth 5 = 32 leaves) that no growth rebuild fires
+// mid-chart. The join/expel rekeys broadcast ONE KeyTreeUpdate whose
+// keytree_level lines show the O(log N) rotation shape — compare the
+// per-member admin fan-out the flat charts above pay.
+struct KeyTreeTracedWorld {
+  explicit KeyTreeTracedWorld(std::uint64_t seed) : rng(seed), sink(trace) {
+    LeaderConfig config;
+    config.id = "L";
+    config.rekey = RekeyPolicy::tree();
+    config.keytree_depth = 5;
+    leader = std::make_unique<Leader>(config, rng);
+    leader->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    net.attach("L", [this](const wire::Envelope& e) { leader->handle(e); });
+  }
+
+  Member& add(const std::string& id) {
+    auto pa = crypto::LongTermKey::random(rng);
+    EXPECT_TRUE(leader->register_member(id, pa).ok());
+    auto m = std::make_unique<Member>(id, "L", pa, rng);
+    m->set_send([this](const std::string& to, wire::Envelope e) {
+      net.send(to, std::move(e));
+    });
+    auto* raw = m.get();
+    net.attach(id, [raw](const wire::Envelope& e) { raw->handle(e); });
+    members[id] = std::move(m);
+    return *raw;
+  }
+
+  std::string chart() const {
+    return net::format_event_chart(trace.events());
+  }
+
+  net::SimNetwork net;
+  DeterministicRng rng;
+  obs::TraceLog trace;
+  obs::ScopedTraceSink sink;
+  std::unique_ptr<Leader> leader;
+  std::map<std::string, std::unique_ptr<Member>> members;
+};
+
+std::vector<std::string> sixteen_ids() {
+  std::vector<std::string> ids;
+  for (int i = 1; i <= 16; ++i)
+    ids.push_back("m" + std::string(i < 10 ? "0" : "") + std::to_string(i));
+  return ids;
+}
+
+TEST(GoldenTrace, KeyTreeSixteenthJoinIsOneBroadcast) {
+  KeyTreeTracedWorld w(77);
+  auto ids = sixteen_ids();
+  for (const auto& id : ids) w.add(id);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(w.members[ids[static_cast<std::size_t>(i)]]->join().ok());
+    w.net.run();
+  }
+  w.trace.clear();  // golden-diff only the 16th join
+
+  ASSERT_TRUE(w.members["m16"]->join().ok());
+  w.net.run();
+  ASSERT_TRUE(w.members["m16"]->connected());
+  for (const auto& id : ids)
+    ASSERT_EQ(w.members[id]->epoch(), w.leader->epoch()) << id;
+
+  // One KeyTreeUpdate broadcast (rekey + five keytree_level lines) covers
+  // the whole group; only the joiner gets a unicast keytree_assign. Compare
+  // SecondJoinFansOutToIncumbent, where the flat policy sends new_group_key
+  // to every member individually.
+  const std::string golden =
+      "@0    m16        member_phase    -> L          [NotConnected->WaitingForKey]\n"
+      "@0    L          leader_phase    -> m16        [NotConnected->WaitingForKeyAck]\n"
+      "@0    m16        member_phase    -> L          [WaitingForKey->Connected]\n"
+      "@0    L          leader_phase    -> m16        [WaitingForKeyAck->Connected]\n"
+      "@0    L          join            -> m16\n"
+      "@0    L          admin_send      -> m16        [keytree_assign]\n"
+      "@0    L          rekey           =16\n"
+      "@0    L          keytree_level   [lvl4] =16\n"
+      "@0    L          keytree_level   [lvl3] =16\n"
+      "@0    L          keytree_level   [lvl2] =16\n"
+      "@0    L          keytree_level   [lvl1] =16\n"
+      "@0    L          keytree_level   [lvl0] =16\n"
+      "@0    L          admin_send      -> m01        [member_joined]\n"
+      "@0    L          admin_send      -> m02        [member_joined]\n"
+      "@0    L          admin_send      -> m03        [member_joined]\n"
+      "@0    L          admin_send      -> m04        [member_joined]\n"
+      "@0    L          admin_send      -> m05        [member_joined]\n"
+      "@0    L          admin_send      -> m06        [member_joined]\n"
+      "@0    L          admin_send      -> m07        [member_joined]\n"
+      "@0    L          admin_send      -> m08        [member_joined]\n"
+      "@0    L          admin_send      -> m09        [member_joined]\n"
+      "@0    L          admin_send      -> m10        [member_joined]\n"
+      "@0    L          admin_send      -> m11        [member_joined]\n"
+      "@0    L          admin_send      -> m12        [member_joined]\n"
+      "@0    L          admin_send      -> m13        [member_joined]\n"
+      "@0    L          admin_send      -> m14        [member_joined]\n"
+      "@0    L          admin_send      -> m15        [member_joined]\n"
+      "@0    m01        rekey           -> L          =16\n"
+      "@0    m02        rekey           -> L          =16\n"
+      "@0    m03        rekey           -> L          =16\n"
+      "@0    m04        rekey           -> L          =16\n"
+      "@0    m05        rekey           -> L          =16\n"
+      "@0    m06        rekey           -> L          =16\n"
+      "@0    m07        rekey           -> L          =16\n"
+      "@0    m08        rekey           -> L          =16\n"
+      "@0    m09        rekey           -> L          =16\n"
+      "@0    m10        rekey           -> L          =16\n"
+      "@0    m11        rekey           -> L          =16\n"
+      "@0    m12        rekey           -> L          =16\n"
+      "@0    m13        rekey           -> L          =16\n"
+      "@0    m14        rekey           -> L          =16\n"
+      "@0    m15        rekey           -> L          =16\n"
+      "@0    m16        rekey           -> L          =16\n"
+      "@0    L          admin_ack       -> m16\n"
+      "@0    L          admin_send      -> m16        [member_list]\n"
+      "@0    L          admin_ack       -> m01\n"
+      "@0    L          admin_ack       -> m02\n"
+      "@0    L          admin_ack       -> m03\n"
+      "@0    L          admin_ack       -> m04\n"
+      "@0    L          admin_ack       -> m05\n"
+      "@0    L          admin_ack       -> m06\n"
+      "@0    L          admin_ack       -> m07\n"
+      "@0    L          admin_ack       -> m08\n"
+      "@0    L          admin_ack       -> m09\n"
+      "@0    L          admin_ack       -> m10\n"
+      "@0    L          admin_ack       -> m11\n"
+      "@0    L          admin_ack       -> m12\n"
+      "@0    L          admin_ack       -> m13\n"
+      "@0    L          admin_ack       -> m14\n"
+      "@0    L          admin_ack       -> m15\n"
+      "@0    L          admin_ack       -> m16\n";
+  EXPECT_EQ(strip_trailing_blanks(w.chart()), golden);
+}
+
+TEST(GoldenTrace, KeyTreeExpelRotatesThePrunedPath) {
+  KeyTreeTracedWorld w(77);
+  auto ids = sixteen_ids();
+  for (const auto& id : ids) w.add(id);
+  for (const auto& id : ids) {
+    ASSERT_TRUE(w.members[id]->join().ok());
+    w.net.run();
+  }
+  w.trace.clear();  // golden-diff only the expulsion
+
+  ASSERT_TRUE(w.leader->expel("m05", "for cause").ok());
+  w.net.run();
+  ASSERT_FALSE(w.members["m05"]->connected());
+  for (const auto& id : ids) {
+    if (id == "m05") continue;
+    ASSERT_EQ(w.members[id]->epoch(), w.leader->epoch()) << id;
+  }
+
+  // The expulsion rotates exactly the five KEKs on the pruned leaf's path
+  // (lvl4..lvl0); m05 never sees epoch 17 and suppresses the Ack for its
+  // terminal Expelled notice (the "leave [expelled]" line has no ack).
+  const std::string golden =
+      "@0    L          expel           -> m05        [for cause]\n"
+      "@0    L          admin_send      -> m01        [member_left]\n"
+      "@0    L          admin_send      -> m02        [member_left]\n"
+      "@0    L          admin_send      -> m03        [member_left]\n"
+      "@0    L          admin_send      -> m04        [member_left]\n"
+      "@0    L          admin_send      -> m06        [member_left]\n"
+      "@0    L          admin_send      -> m07        [member_left]\n"
+      "@0    L          admin_send      -> m08        [member_left]\n"
+      "@0    L          admin_send      -> m09        [member_left]\n"
+      "@0    L          admin_send      -> m10        [member_left]\n"
+      "@0    L          admin_send      -> m11        [member_left]\n"
+      "@0    L          admin_send      -> m12        [member_left]\n"
+      "@0    L          admin_send      -> m13        [member_left]\n"
+      "@0    L          admin_send      -> m14        [member_left]\n"
+      "@0    L          admin_send      -> m15        [member_left]\n"
+      "@0    L          admin_send      -> m16        [member_left]\n"
+      "@0    L          rekey           =17\n"
+      "@0    L          keytree_level   [lvl4] =17\n"
+      "@0    L          keytree_level   [lvl3] =17\n"
+      "@0    L          keytree_level   [lvl2] =17\n"
+      "@0    L          keytree_level   [lvl1] =17\n"
+      "@0    L          keytree_level   [lvl0] =17\n"
+      "@0    m05        leave           -> L          [expelled]\n"
+      "@0    m01        rekey           -> L          =17\n"
+      "@0    m02        rekey           -> L          =17\n"
+      "@0    m03        rekey           -> L          =17\n"
+      "@0    m04        rekey           -> L          =17\n"
+      "@0    m06        rekey           -> L          =17\n"
+      "@0    m07        rekey           -> L          =17\n"
+      "@0    m08        rekey           -> L          =17\n"
+      "@0    m09        rekey           -> L          =17\n"
+      "@0    m10        rekey           -> L          =17\n"
+      "@0    m11        rekey           -> L          =17\n"
+      "@0    m12        rekey           -> L          =17\n"
+      "@0    m13        rekey           -> L          =17\n"
+      "@0    m14        rekey           -> L          =17\n"
+      "@0    m15        rekey           -> L          =17\n"
+      "@0    m16        rekey           -> L          =17\n"
+      "@0    L          admin_ack       -> m01\n"
+      "@0    L          admin_ack       -> m02\n"
+      "@0    L          admin_ack       -> m03\n"
+      "@0    L          admin_ack       -> m04\n"
+      "@0    L          admin_ack       -> m06\n"
+      "@0    L          admin_ack       -> m07\n"
+      "@0    L          admin_ack       -> m08\n"
+      "@0    L          admin_ack       -> m09\n"
+      "@0    L          admin_ack       -> m10\n"
+      "@0    L          admin_ack       -> m11\n"
+      "@0    L          admin_ack       -> m12\n"
+      "@0    L          admin_ack       -> m13\n"
+      "@0    L          admin_ack       -> m14\n"
+      "@0    L          admin_ack       -> m15\n"
+      "@0    L          admin_ack       -> m16\n";
+  EXPECT_EQ(strip_trailing_blanks(w.chart()), golden);
+}
+
 TEST(GoldenTrace, ChartIsDeterministicAcrossRuns) {
   std::string first;
   for (int run = 0; run < 2; ++run) {

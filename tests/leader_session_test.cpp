@@ -82,23 +82,32 @@ TEST_F(LeaderFsm, DuplicateAuthInitAnsweredIdempotently) {
   EXPECT_EQ(leader.state(), LState::waiting_for_key_ack);
 }
 
-TEST_F(LeaderFsm, DifferentAuthInitWhileInSessionRejected) {
-  // A DIFFERENT AuthInitReq (e.g. a replayed request from an older session)
-  // must still be rejected while a handshake is pending.
+TEST_F(LeaderFsm, FreshAuthInitWhileInSessionSupersedes) {
+  // A FRESH authentic AuthInitReq while a session (or handshake) is live
+  // supersedes it: only the member can mint one under Pa, and a member
+  // re-offering a handshake has by definition lost its session state
+  // (crash, or its ReqClose never arrived). Refusing it would deadlock.
   auto init = member.start_join();
   ASSERT_TRUE(leader.handle(*init).ok());
   MemberSession other("alice", "L", pa, rng);
   auto other_init = other.start_join();
   auto r = leader.handle(*other_init);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.code(), Errc::unexpected);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->superseded);
+  EXPECT_TRUE(r->closed);
   EXPECT_EQ(leader.state(), LState::waiting_for_key_ack);
+  // ...and the superseded handshake's opener is now a dead replay.
+  auto replay = leader.handle(*init);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.code(), Errc::stale);
 }
 
-TEST_F(LeaderFsm, ReplayedAuthInitAfterCloseStartsGhostHandshake) {
-  // The paper's Q12 situation: a replayed AuthInitReq re-enters the
-  // authentication protocol. This is safe (the ghost session can never
-  // complete) but observable.
+TEST_F(LeaderFsm, ReplayedAuthInitAfterCloseIsRejectedStale) {
+  // The paper's Q12 situation: a replayed AuthInitReq used to re-enter the
+  // authentication protocol as a "ghost handshake" — safe but observable,
+  // and it blocked the slot until operations cleared it. The per-member N1
+  // replay fence closes that hole: every accepted handshake opener is
+  // remembered, so the replay dies as stale and the slot stays free.
   auto init = member.start_join();
   auto dist = leader.handle(*init);
   auto ack = member.handle(*dist->reply);
@@ -108,11 +117,9 @@ TEST_F(LeaderFsm, ReplayedAuthInitAfterCloseStartsGhostHandshake) {
   ASSERT_EQ(leader.state(), LState::not_connected);
 
   auto ghost = leader.handle(*init);  // replay of the original request
-  ASSERT_TRUE(ghost.ok());
-  EXPECT_EQ(leader.state(), LState::waiting_for_key_ack);
-  // The member (long gone) will never answer; and a new *genuine* join is
-  // blocked until this ghost is cleared — the documented liveness limit of
-  // the faithful protocol (safety is preserved).
+  ASSERT_FALSE(ghost.ok());
+  EXPECT_EQ(ghost.code(), Errc::stale);
+  EXPECT_EQ(leader.state(), LState::not_connected);
 }
 
 TEST_F(LeaderFsm, AuthAckWithWrongNonceRejected) {

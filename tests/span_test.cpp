@@ -4,10 +4,12 @@
 // span-level sibling of tests/golden_trace_test.cpp).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/leader.h"
 #include "core/member.h"
@@ -178,7 +180,10 @@ TEST(AttachEvidence, LinksEntryToTheInterruptedSpan) {
 struct TracedWorld {
   explicit TracedWorld(std::uint64_t seed,
                        RekeyPolicy policy = RekeyPolicy::strict())
-      : rng(seed), leader(LeaderConfig{"L", policy}, rng), sink(trace) {
+      : TracedWorld(seed, LeaderConfig{"L", policy}) {}
+
+  TracedWorld(std::uint64_t seed, LeaderConfig config)
+      : rng(seed), leader(std::move(config), rng), sink(trace) {
     leader.set_send([this](const std::string& to, wire::Envelope e) {
       net.send(to, std::move(e));
     });
@@ -269,6 +274,142 @@ TEST(GoldenSpanTree, SecondJoinRekeyFansOut) {
       "#4 admin_exchange        L          -> bob        @0..0 ok [new_group_key]\n"
       "#7 admin_exchange        L          -> alice      @0..0 ok [member_joined]\n"
       "#8 admin_exchange        L          -> bob        @0..0 ok [member_list]\n";
+  EXPECT_EQ(strip_trailing_blanks(w.tree()), golden);
+}
+
+// Tree-mode rekeys at group scale: depth 5 (32 leaves) so 16 members never
+// trigger a growth rebuild, and each rekey span carries one rekey_level
+// child per rotated tree level — the O(log N) shape, visible in the span
+// tree next to the full 16-member delivery fan-in.
+LeaderConfig keytree_world_config() {
+  LeaderConfig config;
+  config.id = "L";
+  config.rekey = RekeyPolicy::tree();
+  config.keytree_depth = 5;
+  return config;
+}
+
+std::vector<std::string> sixteen_ids() {
+  std::vector<std::string> ids;
+  for (int i = 1; i <= 16; ++i)
+    ids.push_back("m" + std::string(i < 10 ? "0" : "") + std::to_string(i));
+  return ids;
+}
+
+TEST(GoldenSpanTree, KeyTreeSixteenthJoinRekeyLevels) {
+  TracedWorld w(77, keytree_world_config());
+  auto ids = sixteen_ids();
+  for (const auto& id : ids) w.add(id);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(w.members[ids[static_cast<std::size_t>(i)]]->join().ok());
+    w.net.run();
+  }
+  w.trace.clear();
+
+  ASSERT_TRUE(w.members["m16"]->join().ok());
+  w.net.run();
+  ASSERT_TRUE(w.members["m16"]->connected());
+
+  // The rekey span owns five rekey_level children (one per rotated tree
+  // level, deepest first) plus the 16-member delivery fan-in.
+  const std::string golden =
+      "#1 join                  m16        -> L          @0..0 ok\n"
+      "#2 admin_exchange        L          -> m16        @0..0 ok [keytree_assign]\n"
+      "#3 rekey                 L                        @0..0 ok =16\n"
+      "  #4 rekey_level         L                        @0..0 ok [lvl4] =16\n"
+      "  #5 rekey_level         L                        @0..0 ok [lvl3] =16\n"
+      "  #6 rekey_level         L                        @0..0 ok [lvl2] =16\n"
+      "  #7 rekey_level         L                        @0..0 ok [lvl1] =16\n"
+      "  #8 rekey_level         L                        @0..0 ok [lvl0] =16\n"
+      "  #24 rekey_delivery     m01        -> L          @0..0 ok =16\n"
+      "  #25 rekey_delivery     m02        -> L          @0..0 ok =16\n"
+      "  #26 rekey_delivery     m03        -> L          @0..0 ok =16\n"
+      "  #27 rekey_delivery     m04        -> L          @0..0 ok =16\n"
+      "  #28 rekey_delivery     m05        -> L          @0..0 ok =16\n"
+      "  #29 rekey_delivery     m06        -> L          @0..0 ok =16\n"
+      "  #30 rekey_delivery     m07        -> L          @0..0 ok =16\n"
+      "  #31 rekey_delivery     m08        -> L          @0..0 ok =16\n"
+      "  #32 rekey_delivery     m09        -> L          @0..0 ok =16\n"
+      "  #33 rekey_delivery     m10        -> L          @0..0 ok =16\n"
+      "  #34 rekey_delivery     m11        -> L          @0..0 ok =16\n"
+      "  #35 rekey_delivery     m12        -> L          @0..0 ok =16\n"
+      "  #36 rekey_delivery     m13        -> L          @0..0 ok =16\n"
+      "  #37 rekey_delivery     m14        -> L          @0..0 ok =16\n"
+      "  #38 rekey_delivery     m15        -> L          @0..0 ok =16\n"
+      "  #39 rekey_delivery     m16        -> L          @0..0 ok =16\n"
+      "#9 admin_exchange        L          -> m01        @0..0 ok [member_joined]\n"
+      "#10 admin_exchange       L          -> m02        @0..0 ok [member_joined]\n"
+      "#11 admin_exchange       L          -> m03        @0..0 ok [member_joined]\n"
+      "#12 admin_exchange       L          -> m04        @0..0 ok [member_joined]\n"
+      "#13 admin_exchange       L          -> m05        @0..0 ok [member_joined]\n"
+      "#14 admin_exchange       L          -> m06        @0..0 ok [member_joined]\n"
+      "#15 admin_exchange       L          -> m07        @0..0 ok [member_joined]\n"
+      "#16 admin_exchange       L          -> m08        @0..0 ok [member_joined]\n"
+      "#17 admin_exchange       L          -> m09        @0..0 ok [member_joined]\n"
+      "#18 admin_exchange       L          -> m10        @0..0 ok [member_joined]\n"
+      "#19 admin_exchange       L          -> m11        @0..0 ok [member_joined]\n"
+      "#20 admin_exchange       L          -> m12        @0..0 ok [member_joined]\n"
+      "#21 admin_exchange       L          -> m13        @0..0 ok [member_joined]\n"
+      "#22 admin_exchange       L          -> m14        @0..0 ok [member_joined]\n"
+      "#23 admin_exchange       L          -> m15        @0..0 ok [member_joined]\n"
+      "#40 admin_exchange       L          -> m16        @0..0 ok [member_list]\n";
+  EXPECT_EQ(strip_trailing_blanks(w.tree()), golden);
+}
+
+TEST(GoldenSpanTree, KeyTreeExpelRekeyLevels) {
+  TracedWorld w(77, keytree_world_config());
+  auto ids = sixteen_ids();
+  for (const auto& id : ids) w.add(id);
+  for (const auto& id : ids) {
+    ASSERT_TRUE(w.members[id]->join().ok());
+    w.net.run();
+  }
+  w.trace.clear();
+
+  ASSERT_TRUE(w.leader.expel("m05", "for cause").ok());
+  w.net.run();
+  ASSERT_FALSE(w.members["m05"]->connected());
+
+  // Same O(log N) shape on expulsion: five rotated levels under the rekey
+  // span, and fifteen deliveries — m05's path was pruned, so it never
+  // installs epoch 17 and contributes no rekey_delivery child.
+  const std::string golden =
+      "#1 admin_exchange        L          -> m01        @0..0 ok [member_left]\n"
+      "#2 admin_exchange        L          -> m02        @0..0 ok [member_left]\n"
+      "#3 admin_exchange        L          -> m03        @0..0 ok [member_left]\n"
+      "#4 admin_exchange        L          -> m04        @0..0 ok [member_left]\n"
+      "#5 admin_exchange        L          -> m06        @0..0 ok [member_left]\n"
+      "#6 admin_exchange        L          -> m07        @0..0 ok [member_left]\n"
+      "#7 admin_exchange        L          -> m08        @0..0 ok [member_left]\n"
+      "#8 admin_exchange        L          -> m09        @0..0 ok [member_left]\n"
+      "#9 admin_exchange        L          -> m10        @0..0 ok [member_left]\n"
+      "#10 admin_exchange       L          -> m11        @0..0 ok [member_left]\n"
+      "#11 admin_exchange       L          -> m12        @0..0 ok [member_left]\n"
+      "#12 admin_exchange       L          -> m13        @0..0 ok [member_left]\n"
+      "#13 admin_exchange       L          -> m14        @0..0 ok [member_left]\n"
+      "#14 admin_exchange       L          -> m15        @0..0 ok [member_left]\n"
+      "#15 admin_exchange       L          -> m16        @0..0 ok [member_left]\n"
+      "#16 rekey                L                        @0..0 ok =17\n"
+      "  #17 rekey_level        L                        @0..0 ok [lvl4] =17\n"
+      "  #18 rekey_level        L                        @0..0 ok [lvl3] =17\n"
+      "  #19 rekey_level        L                        @0..0 ok [lvl2] =17\n"
+      "  #20 rekey_level        L                        @0..0 ok [lvl1] =17\n"
+      "  #21 rekey_level        L                        @0..0 ok [lvl0] =17\n"
+      "  #22 rekey_delivery     m01        -> L          @0..0 ok =17\n"
+      "  #23 rekey_delivery     m02        -> L          @0..0 ok =17\n"
+      "  #24 rekey_delivery     m03        -> L          @0..0 ok =17\n"
+      "  #25 rekey_delivery     m04        -> L          @0..0 ok =17\n"
+      "  #26 rekey_delivery     m06        -> L          @0..0 ok =17\n"
+      "  #27 rekey_delivery     m07        -> L          @0..0 ok =17\n"
+      "  #28 rekey_delivery     m08        -> L          @0..0 ok =17\n"
+      "  #29 rekey_delivery     m09        -> L          @0..0 ok =17\n"
+      "  #30 rekey_delivery     m10        -> L          @0..0 ok =17\n"
+      "  #31 rekey_delivery     m11        -> L          @0..0 ok =17\n"
+      "  #32 rekey_delivery     m12        -> L          @0..0 ok =17\n"
+      "  #33 rekey_delivery     m13        -> L          @0..0 ok =17\n"
+      "  #34 rekey_delivery     m14        -> L          @0..0 ok =17\n"
+      "  #35 rekey_delivery     m15        -> L          @0..0 ok =17\n"
+      "  #36 rekey_delivery     m16        -> L          @0..0 ok =17\n";
   EXPECT_EQ(strip_trailing_blanks(w.tree()), golden);
 }
 
